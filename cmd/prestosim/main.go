@@ -1,0 +1,98 @@
+// Command prestosim runs one load-balancing system against one
+// workload on the emulated testbed and prints the measured metrics —
+// a quick way to poke at the reproduction:
+//
+//	prestosim -system presto -workload stride -duration 200ms
+//	prestosim -system ecmp -workload bijection -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"presto"
+	"presto/internal/sim"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "presto", "ecmp | mptcp | presto | optimal | flowlet100 | flowlet500 | presto-ecmp | per-packet")
+		workload = flag.String("workload", "stride", "stride | shuffle | random | bijection")
+		duration = flag.Duration("duration", 200*time.Millisecond, "measurement window (simulated)")
+		warmup   = flag.Duration("warmup", 50*time.Millisecond, "warmup before measurement (simulated)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	sys, err := parseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kind, err := parseWorkload(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := presto.Options{
+		Seed:     *seed,
+		Duration: sim.Time(duration.Nanoseconds()),
+		Warmup:   sim.Time(warmup.Nanoseconds()),
+	}
+
+	start := time.Now()
+	res := presto.RunWorkload(sys, kind, opt)
+	elapsed := time.Since(start)
+
+	fmt.Printf("system=%v workload=%v seed=%d duration=%v\n", sys, kind, *seed, *duration)
+	fmt.Printf("  elephant throughput: %.2f Gbps/flow (fairness %.3f)\n", res.MeanTput, res.Fairness)
+	fmt.Printf("  loss rate:           %.4f%%\n", res.LossRate*100)
+	if res.RTT != nil && res.RTT.N() > 0 {
+		fmt.Printf("  RTT (ms):            p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f (n=%d)\n",
+			res.RTT.Percentile(50), res.RTT.Percentile(90), res.RTT.Percentile(99), res.RTT.Percentile(99.9), res.RTT.N())
+	}
+	if res.FCT != nil && res.FCT.N() > 0 {
+		fmt.Printf("  mice FCT (ms):       p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f (n=%d, timeouts=%d)\n",
+			res.FCT.Percentile(50), res.FCT.Percentile(90), res.FCT.Percentile(99), res.FCT.Percentile(99.9), res.FCT.N(), res.MiceTimeouts)
+	}
+	fmt.Printf("  wall time:           %v\n", elapsed.Round(time.Millisecond))
+}
+
+func parseSystem(s string) (presto.System, error) {
+	switch strings.ToLower(s) {
+	case "ecmp":
+		return presto.SysECMP, nil
+	case "mptcp":
+		return presto.SysMPTCP, nil
+	case "presto":
+		return presto.SysPresto, nil
+	case "optimal":
+		return presto.SysOptimal, nil
+	case "flowlet100":
+		return presto.SysFlowlet100, nil
+	case "flowlet500":
+		return presto.SysFlowlet500, nil
+	case "presto-ecmp", "prestoecmp":
+		return presto.SysPrestoECMP, nil
+	case "per-packet", "perpacket":
+		return presto.SysPerPacket, nil
+	}
+	return 0, fmt.Errorf("unknown system %q", s)
+}
+
+func parseWorkload(s string) (presto.WorkloadKind, error) {
+	switch strings.ToLower(s) {
+	case "stride":
+		return presto.Stride, nil
+	case "shuffle":
+		return presto.Shuffle, nil
+	case "random":
+		return presto.Random, nil
+	case "bijection":
+		return presto.Bijection, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q", s)
+}

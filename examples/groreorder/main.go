@@ -1,0 +1,43 @@
+// GRO microbenchmark (§5, Figure 5): spray two flows' flowcells over
+// two paths and receive them through official GRO versus Presto GRO.
+// Official GRO suffers small segment flooding — tiny segments, high
+// CPU, reordering exposed to TCP — while Presto GRO masks everything.
+//
+//	go run ./examples/groreorder
+package main
+
+import (
+	"fmt"
+
+	"presto"
+	"presto/internal/sim"
+)
+
+func main() {
+	opt := presto.Options{
+		Seed:     5,
+		Warmup:   40 * sim.Millisecond,
+		Duration: 150 * sim.Millisecond,
+	}
+	off := presto.RunGROMicrobench(true, opt)
+	pre := presto.RunGROMicrobench(false, opt)
+
+	fmt.Println("two flows sprayed over two spine paths (Figure 4b topology):")
+	fmt.Println()
+	show := func(name string, r presto.GROResult) {
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  out-of-order segments seen by TCP: p50=%.0f p90=%.0f max=%.0f\n",
+			r.OOOCounts.Percentile(50), r.OOOCounts.Percentile(90), r.OOOCounts.Max())
+		fmt.Printf("  pushed segment size: mean %.1f KB (p90 %.1f KB)\n",
+			r.SegSizes.Mean(), r.SegSizes.Percentile(90))
+		fmt.Printf("  goodput %.2f Gbps at %.0f%% receiver CPU\n\n", r.MeanTput, r.CPUUtil*100)
+	}
+	show("Official GRO", off)
+	show("Presto GRO (Algorithm 2)", pre)
+	fmt.Println("paper's measured points: official 4.6 Gbps @ 86% CPU,")
+	fmt.Println("presto 9.3 Gbps @ 69% CPU, reordering fully masked.")
+
+	gbps, cpu := presto.GRODisabledThroughput(opt)
+	fmt.Printf("\nfor reference, GRO disabled entirely: %.2f Gbps @ %.0f%% CPU\n", gbps, cpu*100)
+	fmt.Println("(paper cites 5.7-7.1 Gbps at 100% CPU)")
+}

@@ -1,0 +1,46 @@
+// Trace-driven workload (§6, Table 1): heavy-tailed flow sizes from
+// every server to random cross-rack destinations. Presto's flowcell
+// spraying flattens the mice FCT tail that ECMP's elephant collisions
+// create.
+//
+//	go run ./examples/tracedriven
+package main
+
+import (
+	"fmt"
+
+	"presto"
+	"presto/internal/sim"
+)
+
+func main() {
+	opt := presto.Options{
+		Seed:     3,
+		Warmup:   30 * sim.Millisecond,
+		Duration: 250 * sim.Millisecond,
+	}
+	systems := []presto.System{presto.SysECMP, presto.SysPresto, presto.SysOptimal}
+	results := make(map[presto.System]presto.TraceResult)
+	for _, sys := range systems {
+		results[sys] = presto.RunTrace(sys, opt)
+	}
+
+	base := results[presto.SysECMP].MiceFCT
+	fmt.Println("mice (<100 KB) flow completion time, trace-driven workload:")
+	fmt.Printf("%-12s %10s %10s %10s\n", "percentile", "ECMP(ms)", "Presto", "Optimal")
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		b := base.Percentile(p)
+		rel := func(sys presto.System) string {
+			if b <= 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%+.0f%%", (results[sys].MiceFCT.Percentile(p)/b-1)*100)
+		}
+		fmt.Printf("%-12g %10.3f %10s %10s\n", p, b, rel(presto.SysPresto), rel(presto.SysOptimal))
+	}
+	fmt.Printf("\nelephant (>1 MB) goodput: ECMP %.2f, Presto %.2f, Optimal %.2f Gbps\n",
+		results[presto.SysECMP].ElephantTput,
+		results[presto.SysPresto].ElephantTput,
+		results[presto.SysOptimal].ElephantTput)
+	fmt.Println("(paper, Table 1: Presto cuts the 99th/99.9th percentile by 56%/60%)")
+}

@@ -1,0 +1,50 @@
+// VXLAN compatibility (§3.1): Presto's label switching works in
+// virtualized networks because the shadow MAC rides the *outer*
+// Ethernet header of the VXLAN encapsulation, and the flowcell ID can
+// ride the VXLAN reserved bits (the NVO3 draft the paper cites). This
+// example encapsulates a tenant packet, shows the byte layout, and
+// round-trips it through the wire codec.
+//
+//	go run ./examples/vxlan
+package main
+
+import (
+	"fmt"
+
+	"presto/internal/packet"
+)
+
+func main() {
+	inner := &packet.Packet{
+		SrcMAC:  packet.HostMAC(3),
+		DstMAC:  packet.HostMAC(7), // tenant frame keeps real MACs
+		Flow:    packet.FlowKey{Src: packet.Addr{Host: 3, Port: 40000}, Dst: packet.Addr{Host: 7, Port: 443}},
+		Seq:     1,
+		Flags:   packet.FlagACK | packet.FlagPSH,
+		Payload: 1200,
+	}
+	v := &packet.VXLAN{
+		OuterSrc:     packet.HostMAC(3),
+		OuterDst:     packet.ShadowMAC(7, 2), // the label: spanning tree 2
+		OuterSrcHost: 3,
+		OuterDstHost: 7,
+		VNI:          42,
+		FlowcellID:   1234, // stashed in the VXLAN reserved bits
+		Inner:        inner,
+	}
+	frame := packet.MarshalVXLAN(v)
+	fmt.Printf("encapsulated frame: %d bytes (%d tenant + %d VXLAN overhead)\n",
+		len(frame), len(packet.Marshal(inner)), packet.OuterOverhead)
+	fmt.Printf("outer dst MAC (the forwarding label): %v\n", v.OuterDst)
+	fmt.Printf("  -> shadow label? %v  tree=%d\n", v.OuterDst.IsShadow(), v.OuterDst.ShadowTree())
+
+	got, err := packet.UnmarshalVXLAN(frame)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ndecapsulated: VNI=%d flowcell=%d inner flow %v (seq=%d, %dB)\n",
+		got.VNI, got.FlowcellID, got.Inner.Flow, got.Inner.Seq, got.Inner.Payload)
+	fmt.Println("\nswitches forward on the outer label only; the tenant's frame —")
+	fmt.Println("addresses, options, payload — is untouched, so Presto composes")
+	fmt.Println("with L2/L3 network virtualization as the paper argues.")
+}

@@ -1,0 +1,190 @@
+package presto
+
+import (
+	"testing"
+
+	"presto/internal/sim"
+)
+
+// fastOpt shrinks windows so the whole experiment suite stays quick;
+// the cmd/experiments binary uses the full defaults.
+func fastOpt(seed uint64) Options {
+	return Options{
+		Seed:         seed,
+		Warmup:       20 * sim.Millisecond,
+		Duration:     60 * sim.Millisecond,
+		MiceInterval: 4 * sim.Millisecond,
+	}
+}
+
+func TestScalabilityPrestoTracksOptimal(t *testing.T) {
+	for _, paths := range []int{2, 4} {
+		pr := RunScalability(SysPresto, paths, fastOpt(1))
+		op := RunScalability(SysOptimal, paths, fastOpt(1))
+		if pr.MeanTput < 0.9*op.MeanTput {
+			t.Errorf("paths=%d: presto %.2f vs optimal %.2f Gbps", paths, pr.MeanTput, op.MeanTput)
+		}
+		if pr.MeanTput < 8 {
+			t.Errorf("paths=%d: presto only %.2f Gbps", paths, pr.MeanTput)
+		}
+		if pr.Fairness < 0.95 {
+			t.Errorf("paths=%d: presto fairness %.3f", paths, pr.Fairness)
+		}
+	}
+}
+
+func TestScalabilityECMPLagsPresto(t *testing.T) {
+	// With 8 flows over 8 paths, ECMP hash collisions should cost
+	// throughput relative to Presto (Figure 7's gap).
+	ec := RunScalability(SysECMP, 8, fastOpt(2))
+	pr := RunScalability(SysPresto, 8, fastOpt(2))
+	if ec.MeanTput >= pr.MeanTput {
+		t.Errorf("ECMP %.2f >= Presto %.2f Gbps at 8 paths", ec.MeanTput, pr.MeanTput)
+	}
+}
+
+func TestOversubscriptionAllSchemesProgress(t *testing.T) {
+	for _, sys := range []System{SysECMP, SysPresto, SysOptimal} {
+		r := RunOversubscription(sys, 4, fastOpt(3))
+		// 4 flows over 2 spines: per-flow ~5 Gbps at best.
+		if r.MeanTput < 1.5 {
+			t.Errorf("%v: %.2f Gbps under 2:1 oversubscription", sys, r.MeanTput)
+		}
+	}
+}
+
+func TestWorkloadStride(t *testing.T) {
+	r := RunWorkload(SysPresto, Stride, fastOpt(4))
+	if r.MeanTput < 8 {
+		t.Errorf("presto stride %.2f Gbps", r.MeanTput)
+	}
+	if r.FCT == nil || r.FCT.N() == 0 {
+		t.Fatal("no mice samples")
+	}
+	if r.RTT.N() == 0 {
+		t.Fatal("no RTT samples")
+	}
+}
+
+func TestWorkloadShuffle(t *testing.T) {
+	r := RunWorkload(SysPresto, Shuffle, fastOpt(5))
+	if r.MeanTput <= 0 {
+		t.Fatal("shuffle produced no transfer throughput")
+	}
+}
+
+func TestGROMicrobenchContrast(t *testing.T) {
+	off := RunGROMicrobench(true, fastOpt(6))
+	pre := RunGROMicrobench(false, fastOpt(6))
+	// Figure 5a: Presto GRO masks reordering completely; official GRO
+	// leaks it.
+	if pre.OOOCounts.Max() != 0 {
+		t.Errorf("presto GRO exposed reordering: max OOO %v", pre.OOOCounts.Max())
+	}
+	if off.OOOCounts.Percentile(90) == 0 {
+		t.Error("official GRO shows no reordering — microbenchmark broken")
+	}
+	// Figure 5b: Presto pushes much larger segments.
+	if pre.SegSizes.Mean() < 2*off.SegSizes.Mean() {
+		t.Errorf("segment sizes: presto %.1fKB vs official %.1fKB", pre.SegSizes.Mean(), off.SegSizes.Mean())
+	}
+	// §5: official GRO at roughly half the goodput.
+	if off.MeanTput >= pre.MeanTput {
+		t.Errorf("official GRO %.2f >= presto GRO %.2f Gbps", off.MeanTput, pre.MeanTput)
+	}
+}
+
+func TestCPUOverheadWithinBudget(t *testing.T) {
+	pre := RunCPUOverhead(true, fastOpt(7))
+	off := RunCPUOverhead(false, fastOpt(7))
+	if pre.MeanTput < 8 || off.MeanTput < 8 {
+		t.Fatalf("stride not at line rate: presto %.2f, official %.2f", pre.MeanTput, off.MeanTput)
+	}
+	// Figure 6: Presto adds a modest CPU premium over official GRO
+	// with no reordering (paper: ~6%).
+	delta := pre.Mean - off.Mean
+	if delta < 0 || delta > 20 {
+		t.Errorf("CPU overhead delta = %.1f%% (presto %.1f%%, official %.1f%%)", delta, pre.Mean, off.Mean)
+	}
+}
+
+func TestFlowletSizesSkewed(t *testing.T) {
+	r := RunFlowletSizes(2, 500*sim.Microsecond, 16<<20, fastOpt(8))
+	if r.Count < 2 {
+		t.Skipf("only %d flowlets formed", r.Count)
+	}
+	// Figure 1's point: flowlet sizes are highly non-uniform — the
+	// largest flowlet dominates the transfer.
+	if r.LargestFraction < 0.2 {
+		t.Errorf("largest flowlet only %.2f of transfer; expected heavy skew", r.LargestFraction)
+	}
+}
+
+func TestTraceRuns(t *testing.T) {
+	r := RunTrace(SysPresto, fastOpt(9))
+	if r.Flows < 50 {
+		t.Fatalf("only %d trace flows", r.Flows)
+	}
+	if r.MiceFCT.N() < 20 {
+		t.Fatalf("only %d mice FCT samples", r.MiceFCT.N())
+	}
+}
+
+func TestNorthSouthRuns(t *testing.T) {
+	r := RunNorthSouth(SysPresto, fastOpt(10))
+	if r.MiceFCT.N() == 0 {
+		t.Fatal("no east-west mice under north-south cross traffic")
+	}
+	if r.MeanTput < 4 {
+		t.Errorf("east-west stride %.2f Gbps under cross traffic", r.MeanTput)
+	}
+}
+
+func TestFailoverStages(t *testing.T) {
+	r := RunFailover(FailL1L4, fastOpt(11))
+	if r.SymmetryTput < 7 {
+		t.Errorf("symmetry stage %.2f Gbps", r.SymmetryTput)
+	}
+	// Failover and weighted stages must keep traffic flowing despite
+	// the dead link (Figure 17: "reasonable average throughput at each
+	// stage").
+	if r.FailoverTput < 2 {
+		t.Errorf("failover stage %.2f Gbps", r.FailoverTput)
+	}
+	if r.WeightedTput < 4 {
+		t.Errorf("weighted stage %.2f Gbps", r.WeightedTput)
+	}
+	if r.SymmetryRTT.N() == 0 || r.WeightedRTT.N() == 0 {
+		t.Error("missing stage RTT samples")
+	}
+}
+
+func TestGRODisabledWall(t *testing.T) {
+	gbps, cpu := GRODisabledThroughput(fastOpt(12))
+	if gbps < 4.5 || gbps > 7.5 {
+		t.Errorf("GRO-disabled wall at %.2f Gbps, want 5.5-7", gbps)
+	}
+	if cpu < 0.9 {
+		t.Errorf("GRO-disabled CPU %.2f, want saturated", cpu)
+	}
+}
+
+func TestSystemStrings(t *testing.T) {
+	for sys, want := range map[System]string{
+		SysECMP: "ECMP", SysMPTCP: "MPTCP", SysPresto: "Presto",
+		SysOptimal: "Optimal", SysFlowlet100: "Flowlet-100us",
+		SysFlowlet500: "Flowlet-500us", SysPrestoECMP: "Presto+ECMP",
+		SysPerPacket: "PerPacket",
+	} {
+		if sys.String() != want {
+			t.Errorf("%d -> %q", sys, sys.String())
+		}
+	}
+	for w, want := range map[WorkloadKind]string{
+		Stride: "stride", Shuffle: "shuffle", Random: "random", Bijection: "bijection",
+	} {
+		if w.String() != want {
+			t.Errorf("workload %d -> %q", w, w.String())
+		}
+	}
+}

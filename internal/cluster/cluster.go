@@ -1,0 +1,302 @@
+// Package cluster assembles a whole emulated testbed: a topology's
+// fabric, one host per server (vSwitch + NIC + GRO + transport
+// endpoints), the central controller, and helpers for opening
+// connections, probing RTT, and failing links. This is the layer the
+// experiment harness drives.
+package cluster
+
+import (
+	"fmt"
+
+	"presto/internal/controller"
+	"presto/internal/fabric"
+	"presto/internal/gro"
+	"presto/internal/mptcp"
+	"presto/internal/nic"
+	"presto/internal/packet"
+	"presto/internal/sim"
+	"presto/internal/tcp"
+	"presto/internal/topo"
+	"presto/internal/vswitch"
+)
+
+// Scheme selects the load-balancing configuration under test (§4):
+// the edge policy, the receive-offload algorithm, and the transport.
+type Scheme int
+
+const (
+	// ECMP pins each flow to one random end-to-end path (the paper's
+	// ECMP baseline), with official GRO.
+	ECMP Scheme = iota
+	// MPTCP runs 8 subflows per connection, each ECMP-pinned, with
+	// coupled congestion control and official GRO.
+	MPTCP
+	// Presto sprays 64 KB flowcells round-robin over shadow-MAC
+	// spanning trees with Presto GRO at receivers.
+	Presto
+	// Flowlet switches paths at inactivity gaps (see Config.FlowletGap)
+	// with official GRO.
+	Flowlet
+	// PrestoECMP stamps flowcells but lets switches hash them per hop
+	// (Figure 14's comparison).
+	PrestoECMP
+	// PerPacket sprays every MTU packet (TSO off) with Presto GRO —
+	// the per-packet baseline of §2.1.
+	PerPacket
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case ECMP:
+		return "ecmp"
+	case MPTCP:
+		return "mptcp"
+	case Presto:
+		return "presto"
+	case Flowlet:
+		return "flowlet"
+	case PrestoECMP:
+		return "presto-ecmp"
+	case PerPacket:
+		return "per-packet"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// GROKind overrides the receive-offload algorithm.
+type GROKind int
+
+const (
+	// GROAuto picks the scheme's natural handler.
+	GROAuto GROKind = iota
+	// GROOfficial forces stock GRO.
+	GROOfficial
+	// GROPresto forces Presto GRO.
+	GROPresto
+	// GRONone disables receive offload.
+	GRONone
+	// GROLROOfficial stacks hardware LRO in front of official GRO.
+	GROLROOfficial
+	// GROLROPresto stacks hardware LRO in front of Presto GRO (§2.2:
+	// the hardware stays simple, software handles reordering).
+	GROLROPresto
+)
+
+// prestoGROOverhead is the extra per-packet CPU cost of Presto GRO's
+// multi-segment bookkeeping (calibrated to Figure 6's +6%).
+const prestoGROOverhead = 80 * sim.Nanosecond
+
+// Config describes a testbed instance.
+type Config struct {
+	Topology *topo.Topology
+	Scheme   Scheme
+	Seed     uint64
+
+	GRO        GROKind
+	GROConfig  gro.PrestoConfig
+	FlowletGap sim.Time // inactivity gap for Flowlet (default 500 µs)
+	Subflows   int      // MPTCP subflows (default 8)
+	// FlowcellBytes overrides the Presto policy's flowcell size
+	// (default 64 KB, the max TSO segment) — the granularity ablation.
+	FlowcellBytes int
+
+	TCP    tcp.Config
+	NIC    nic.Config
+	Fabric fabric.Config
+	Ctrl   controller.Config
+
+	// RecordFlowcells enables per-receiver flowcell arrival logs
+	// (Figure 5a).
+	RecordFlowcells bool
+}
+
+// Host is one server: its edge datapath and interface.
+type Host struct {
+	ID  packet.HostID
+	VS  *vswitch.VSwitch
+	NIC *nic.NIC
+}
+
+// Cluster is a running testbed.
+type Cluster struct {
+	Eng   *sim.Engine
+	Topo  *topo.Topology
+	Net   *fabric.Network
+	Ctrl  *controller.Controller
+	Hosts []*Host
+
+	cfg      Config
+	rng      *sim.RNG
+	nextPort uint16
+	conns    []*Conn
+	taps     map[packet.HostID]*tap
+}
+
+// New builds and wires a testbed. The controller's label state is
+// installed immediately (the paper's preemptive push).
+func New(cfg Config) *Cluster {
+	if cfg.Topology == nil {
+		panic("cluster: Config.Topology required")
+	}
+	if cfg.Subflows == 0 {
+		cfg.Subflows = mptcp.DefaultSubflows
+	}
+	if cfg.FlowletGap == 0 {
+		cfg.FlowletGap = 500 * sim.Microsecond
+	}
+	eng := sim.NewEngine()
+	c := &Cluster{
+		Eng:      eng,
+		Topo:     cfg.Topology,
+		cfg:      cfg,
+		rng:      sim.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		nextPort: 10000,
+		taps:     make(map[packet.HostID]*tap),
+	}
+	c.Net = fabric.New(eng, cfg.Topology, cfg.Fabric)
+	c.Ctrl = controller.New(eng, c.Net, cfg.Ctrl)
+
+	for i := 0; i < cfg.Topology.NumHosts(); i++ {
+		h := packet.HostID(i)
+		vs := vswitch.New(eng, h, nil, c.newPolicy())
+		nicCfg := cfg.NIC
+		nicCfg.CPU.HandlerOverhead = 0
+		kind := c.groKind()
+		if kind == GROPresto || kind == GROLROPresto {
+			base := nic.DefaultCPUConfig()
+			if nicCfg.CPU != (nic.CPUConfig{}) {
+				base = nicCfg.CPU
+			}
+			base.HandlerOverhead = prestoGROOverhead
+			nicCfg.CPU = base
+		}
+		n := nic.New(eng, c.Net, h, vs, c.makeGRO(kind), nicCfg)
+		vs.SetSender(n)
+		c.Net.AttachHost(h, n)
+		c.Ctrl.RegisterVSwitch(vs)
+		c.Hosts = append(c.Hosts, &Host{ID: h, VS: vs, NIC: n})
+	}
+	c.Ctrl.InstallAll()
+	return c
+}
+
+// groKind resolves the effective GRO algorithm.
+func (c *Cluster) groKind() GROKind {
+	if c.cfg.GRO != GROAuto {
+		return c.cfg.GRO
+	}
+	switch c.cfg.Scheme {
+	case Presto, PerPacket, PrestoECMP:
+		return GROPresto
+	default:
+		return GROOfficial
+	}
+}
+
+func (c *Cluster) makeGRO(kind GROKind) func(out gro.Output) gro.Handler {
+	eng := c.Eng
+	cfg := c.cfg.GROConfig
+	return func(out gro.Output) gro.Handler {
+		switch kind {
+		case GROPresto:
+			return gro.NewPresto(eng, out, cfg)
+		case GRONone:
+			return gro.NewNone(eng, out)
+		case GROLROOfficial:
+			return gro.NewLRO(eng, gro.NewOfficial(eng, out))
+		case GROLROPresto:
+			return gro.NewLRO(eng, gro.NewPresto(eng, out, cfg))
+		default:
+			return gro.NewOfficial(eng, out)
+		}
+	}
+}
+
+// newPolicy builds a fresh policy instance for one host.
+func (c *Cluster) newPolicy() vswitch.Policy {
+	switch c.cfg.Scheme {
+	case Presto:
+		if c.cfg.FlowcellBytes > 0 {
+			return vswitch.NewPrestoThreshold(c.cfg.FlowcellBytes)
+		}
+		return vswitch.NewPresto()
+	case Flowlet:
+		return vswitch.NewFlowlet(c.cfg.FlowletGap)
+	case PrestoECMP:
+		return vswitch.NewPrestoECMP()
+	case PerPacket:
+		return vswitch.NewPerPacket()
+	default: // ECMP, MPTCP
+		return vswitch.NewECMP(c.rng.Fork())
+	}
+}
+
+// tcpConfig returns the per-connection transport config for the
+// scheme.
+func (c *Cluster) tcpConfig() tcp.Config {
+	cfg := c.cfg.TCP
+	if c.cfg.Scheme == PerPacket {
+		// TSO off: the stack hands down MSS-sized writes.
+		cfg.MSS = packet.MSS
+		cfg.MaxSeg = packet.MSS
+	}
+	if c.cfg.FlowcellBytes > 0 && c.cfg.FlowcellBytes < packet.MaxSegSize {
+		// Algorithm 1 assigns whole skbs to flowcells, so a smaller
+		// flowcell requires capping the TSO write size to match.
+		cfg.MaxSeg = c.cfg.FlowcellBytes
+	}
+	cfg.RecordFlowcells = c.cfg.RecordFlowcells
+	return cfg
+}
+
+// FailLink fails a link in the fabric and notifies the controller.
+func (c *Cluster) FailLink(id topo.LinkID) {
+	c.Net.FailLink(id)
+	c.Ctrl.HandleLinkFailure(id)
+}
+
+// RestoreLink restores a link and notifies the controller.
+func (c *Cluster) RestoreLink(id topo.LinkID) {
+	c.Net.RestoreLink(id)
+	c.Ctrl.HandleLinkRestore(id)
+}
+
+// RNG returns a forked random stream (deterministic per call order).
+func (c *Cluster) RNG() *sim.RNG { return c.rng.Fork() }
+
+// tap interposes a capture callback before a NIC.
+type tap struct {
+	eng  *sim.Engine
+	next fabric.Handler
+	fn   func(at sim.Time, p *packet.Packet)
+}
+
+func (t *tap) HandlePacket(p *packet.Packet) {
+	t.fn(t.eng.Now(), p)
+	t.next.HandlePacket(p)
+}
+
+// TapHost inserts a packet-capture callback in front of host h's NIC:
+// every packet delivered to the host is reported (with its arrival
+// time) before normal processing. Multiple taps stack.
+func (c *Cluster) TapHost(h packet.HostID, fn func(at sim.Time, p *packet.Packet)) {
+	var next fabric.Handler = c.Hosts[h].NIC
+	if t, ok := c.taps[h]; ok {
+		next = t
+	}
+	t := &tap{eng: c.Eng, next: next, fn: fn}
+	c.taps[h] = t
+	c.Net.AttachHost(h, t)
+}
+
+// Conns returns every connection opened on this cluster.
+func (c *Cluster) Conns() []*Conn { return c.conns }
+
+func (c *Cluster) allocPort() uint16 {
+	p := c.nextPort
+	c.nextPort++
+	if c.nextPort < 10000 {
+		c.nextPort = 10000
+	}
+	return p
+}

@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"presto/internal/metrics"
+	"presto/internal/mptcp"
+	"presto/internal/packet"
+	"presto/internal/sim"
+	"presto/internal/tcp"
+)
+
+// Conn is an application-level connection from Src to Dst over the
+// scheme's transport (plain TCP or MPTCP). The reverse direction
+// carries ACKs and application responses (the paper's app-level
+// acknowledgement for mice FCTs).
+type Conn struct {
+	c        *Cluster
+	Src, Dst packet.HostID
+
+	// Plain-TCP endpoints (nil when MPTCP).
+	fwd *tcp.Endpoint // at Src: sends request data
+	rev *tcp.Endpoint // at Dst: sends responses
+
+	// MPTCP halves (nil when plain TCP).
+	msend *mptcp.Sender
+	mrecv *mptcp.Receiver
+	mfwd  []*tcp.Endpoint // src-side subflow endpoints
+	mrev  []*tcp.Endpoint // dst-side subflow endpoints
+
+	flows []packet.FlowKey // forward flow key(s), for unregistering
+
+	// OnDelivered fires at the destination as request bytes arrive
+	// in order (connection total).
+	OnDelivered func(total uint64)
+	// OnReverseDelivered fires at the source as response bytes arrive.
+	OnReverseDelivered func(total uint64)
+
+	OpenedAt sim.Time
+}
+
+// Dial opens a connection between two hosts using the cluster's
+// scheme.
+func (c *Cluster) Dial(src, dst packet.HostID) *Conn {
+	conn := &Conn{c: c, Src: src, Dst: dst, OpenedAt: c.Eng.Now()}
+	cfg := c.tcpConfig()
+	srcVS, dstVS := c.Hosts[src].VS, c.Hosts[dst].VS
+
+	if c.cfg.Scheme == MPTCP {
+		for i := 0; i < c.cfg.Subflows; i++ {
+			f := packet.FlowKey{
+				Src: packet.Addr{Host: src, Port: c.allocPort()},
+				Dst: packet.Addr{Host: dst, Port: 5001},
+			}
+			fe := tcp.New(c.Eng, f, srcVS, cfg)
+			re := tcp.New(c.Eng, f.Reverse(), dstVS, cfg)
+			srcVS.Register(f, fe)
+			dstVS.Register(f.Reverse(), re)
+			conn.mfwd = append(conn.mfwd, fe)
+			conn.mrev = append(conn.mrev, re)
+			conn.flows = append(conn.flows, f)
+		}
+		conn.msend = mptcp.NewSender(c.Eng, conn.mfwd)
+		conn.mrecv = mptcp.NewReceiver(conn.mrev)
+		conn.mrecv.OnDelivered = func(total uint64) {
+			if conn.OnDelivered != nil {
+				conn.OnDelivered(total)
+			}
+		}
+		// Responses ride subflow 0's reverse direction.
+		conn.mfwd[0].OnDelivered = func(total uint64) {
+			if conn.OnReverseDelivered != nil {
+				conn.OnReverseDelivered(total)
+			}
+		}
+	} else {
+		f := packet.FlowKey{
+			Src: packet.Addr{Host: src, Port: c.allocPort()},
+			Dst: packet.Addr{Host: dst, Port: 5001},
+		}
+		conn.fwd = tcp.New(c.Eng, f, srcVS, cfg)
+		conn.rev = tcp.New(c.Eng, f.Reverse(), dstVS, cfg)
+		srcVS.Register(f, conn.fwd)
+		dstVS.Register(f.Reverse(), conn.rev)
+		conn.flows = append(conn.flows, f)
+		conn.rev.OnDelivered = func(total uint64) {
+			if conn.OnDelivered != nil {
+				conn.OnDelivered(total)
+			}
+		}
+		conn.fwd.OnDelivered = func(total uint64) {
+			if conn.OnReverseDelivered != nil {
+				conn.OnReverseDelivered(total)
+			}
+		}
+	}
+	c.conns = append(c.conns, conn)
+	return conn
+}
+
+// Write queues n request bytes at the source.
+func (conn *Conn) Write(n int) {
+	if conn.msend != nil {
+		conn.msend.Write(n)
+		return
+	}
+	conn.fwd.Write(n)
+}
+
+// WriteReverse queues n response bytes at the destination (the
+// application-level acknowledgement).
+func (conn *Conn) WriteReverse(n int) {
+	if conn.mrev != nil {
+		conn.mrev[0].Write(n)
+		return
+	}
+	conn.rev.Write(n)
+}
+
+// SetUnlimited makes the forward direction an elephant.
+func (conn *Conn) SetUnlimited(on bool) {
+	if conn.msend != nil {
+		conn.msend.SetUnlimited(on)
+		return
+	}
+	conn.fwd.SetUnlimited(on)
+}
+
+// Delivered returns request bytes delivered in order at Dst.
+func (conn *Conn) Delivered() uint64 {
+	if conn.mrecv != nil {
+		return conn.mrecv.Delivered()
+	}
+	return conn.rev.Delivered()
+}
+
+// Acked returns request bytes acknowledged at Src.
+func (conn *Conn) Acked() uint64 {
+	if conn.msend != nil {
+		return conn.msend.Acked()
+	}
+	return conn.fwd.Acked()
+}
+
+// Done reports whether all written request bytes are acknowledged.
+func (conn *Conn) Done() bool {
+	if conn.msend != nil {
+		return conn.msend.Done()
+	}
+	return conn.fwd.Done()
+}
+
+// SetProbe marks the connection's traffic as latency probes
+// (single-packet sockperf-style measurements that bypass GRO
+// merging). Plain-TCP connections only.
+func (conn *Conn) SetProbe() {
+	if conn.fwd != nil {
+		conn.fwd.Probe = true
+	}
+	if conn.rev != nil {
+		conn.rev.Probe = true
+	}
+}
+
+// Receiver returns the destination-side endpoint of a plain-TCP
+// connection (instrumentation access: flowcell logs, stats).
+func (conn *Conn) Receiver() *tcp.Endpoint { return conn.rev }
+
+// Sender returns the source-side endpoint of a plain-TCP connection.
+func (conn *Conn) Sender() *tcp.Endpoint { return conn.fwd }
+
+// Subflows returns the MPTCP sender subflows (nil for plain TCP).
+func (conn *Conn) Subflows() []*tcp.Endpoint { return conn.mfwd }
+
+// SenderTimeouts returns RTO fires across the forward direction.
+func (conn *Conn) SenderTimeouts() uint64 {
+	if conn.msend != nil {
+		var t uint64
+		for _, e := range conn.mfwd {
+			t += e.Stats.Timeouts
+		}
+		return t
+	}
+	return conn.fwd.Stats.Timeouts
+}
+
+// Flows returns the forward flow key(s) of the connection (one for
+// TCP, one per subflow for MPTCP).
+func (conn *Conn) Flows() []packet.FlowKey { return conn.flows }
+
+// Close unregisters the connection's flows from both edge tables.
+func (conn *Conn) Close() {
+	for _, f := range conn.flows {
+		conn.c.Hosts[conn.Src].VS.Unregister(f)
+		conn.c.Hosts[conn.Dst].VS.Unregister(f.Reverse())
+	}
+}
+
+// Prober measures RTT sockperf-style: a 64-byte ping over a dedicated
+// TCP connection, answered by a 64-byte application response; the
+// round-trip is one sample. Probes repeat every Interval.
+type Prober struct {
+	Conn     *Conn
+	Interval sim.Time
+	Samples  metrics.Dist // milliseconds
+	// RTTs and SampleAt record each sample and its completion time in
+	// arrival order (Samples re-sorts internally, so stage-windowed
+	// analyses like Figure 18 use these parallel slices).
+	RTTs     []float64
+	SampleAt []sim.Time
+
+	c       *Cluster
+	rounds  uint64
+	sentAt  sim.Time
+	stopped bool
+}
+
+// NewProber opens a probe connection between two hosts. Call Start to
+// begin probing.
+func (c *Cluster) NewProber(src, dst packet.HostID, interval sim.Time) *Prober {
+	p := &Prober{c: c, Interval: interval}
+	p.Conn = c.Dial(src, dst)
+	p.Conn.SetProbe()
+	p.Conn.OnDelivered = func(total uint64) {
+		// Every 64 request bytes completes a ping: answer it.
+		if total >= (p.rounds+1)*64 {
+			p.Conn.WriteReverse(64)
+		}
+	}
+	p.Conn.OnReverseDelivered = func(total uint64) {
+		if total >= (p.rounds+1)*64 {
+			p.rounds++
+			rtt := sim.Time(c.Eng.Now() - p.sentAt).Milliseconds()
+			p.Samples.Add(rtt)
+			p.RTTs = append(p.RTTs, rtt)
+			p.SampleAt = append(p.SampleAt, c.Eng.Now())
+			if !p.stopped {
+				c.Eng.Schedule(p.Interval, p.ping)
+			}
+		}
+	}
+	return p
+}
+
+// Start begins probing now.
+func (p *Prober) Start() { p.ping() }
+
+// Stop ends probing after the in-flight round completes.
+func (p *Prober) Stop() { p.stopped = true }
+
+func (p *Prober) ping() {
+	if p.stopped {
+		return
+	}
+	p.sentAt = p.c.Eng.Now()
+	p.Conn.Write(64)
+}

@@ -1,0 +1,266 @@
+// Package controller implements Presto's centralized controller
+// (§3.1, §3.3): it partitions a 2-tier Clos into disjoint spanning
+// trees (one per spine × parallel link), assigns each host one shadow
+// MAC per tree, installs the label-forwarding rules into the switches,
+// and pushes destination→label-list mappings to the edge vSwitches.
+//
+// On failure it relies on the fabric's hardware fast failover for the
+// first milliseconds, then — after its own (slower) reaction latency —
+// recomputes weighted mappings that exclude trees broken for each
+// source/destination leaf pair and disseminates them to the edge.
+package controller
+
+import (
+	"presto/internal/fabric"
+	"presto/internal/packet"
+	"presto/internal/sim"
+	"presto/internal/topo"
+	"presto/internal/vswitch"
+)
+
+// Config tunes controller behaviour.
+type Config struct {
+	// UpdateLatency is how long after a failure the controller's new
+	// weighted mappings reach the vSwitches (the failover→weighted
+	// stage boundary in Figure 17). Hardware failover covers the gap.
+	UpdateLatency sim.Time
+	// TunnelMode installs switch-to-switch tunnel labels — one per
+	// (destination leaf, tree) — instead of per-host shadow MACs,
+	// trading O(|vSwitches| x |paths|) rules for
+	// O(|switches| x |paths|) (§3.1's scalability extension, as in
+	// MOOSE/NetLord). The destination edge switch forwards on L3.
+	TunnelMode bool
+}
+
+// DefaultConfig uses a 50 ms control loop — fast for a controller,
+// slow next to hardware failover, as in §3.3.
+func DefaultConfig() Config { return Config{UpdateLatency: 50 * sim.Millisecond} }
+
+// Controller is the central brain.
+type Controller struct {
+	eng  *sim.Engine
+	net  *fabric.Network
+	topo *topo.Topology
+	cfg  Config
+
+	trees     []topo.Tree
+	vswitches map[packet.HostID]*vswitch.VSwitch
+
+	// Updates counts mapping pushes (initial install + failure
+	// recomputes).
+	Updates int
+}
+
+// New creates a controller for the given running fabric.
+func New(eng *sim.Engine, net *fabric.Network, cfg Config) *Controller {
+	if cfg.UpdateLatency == 0 {
+		cfg.UpdateLatency = DefaultConfig().UpdateLatency
+	}
+	return &Controller{
+		eng:       eng,
+		net:       net,
+		topo:      net.Topo,
+		cfg:       cfg,
+		vswitches: make(map[packet.HostID]*vswitch.VSwitch),
+	}
+}
+
+// RegisterVSwitch attaches an edge vSwitch to the controller.
+func (c *Controller) RegisterVSwitch(vs *vswitch.VSwitch) {
+	c.vswitches[vs.Host] = vs
+}
+
+// Trees returns the allocated spanning trees (stable indices).
+func (c *Controller) Trees() []topo.Tree { return c.trees }
+
+// InstallAll allocates the spanning trees, installs one label per
+// (host, tree) at every switch on each tree, and pushes the initial
+// destination→labels mappings to all registered vSwitches.
+func (c *Controller) InstallAll() {
+	if len(c.topo.Cores) > 0 {
+		c.trees = c.topo.RootedTrees()
+	} else {
+		c.trees = c.topo.Trees(nil)
+	}
+	if c.cfg.TunnelMode {
+		c.installTunnels()
+		c.pushMappings()
+		return
+	}
+	if len(c.topo.Cores) > 0 {
+		c.installRooted()
+		c.pushMappings()
+		return
+	}
+	for _, tr := range c.trees {
+		for _, hostNode := range c.topo.Hosts {
+			host := c.topo.Nodes[hostNode].Host
+			if c.topo.SpineAttached(host) {
+				// Remote users hang off spines and are reached by
+				// L3/real-MAC forwarding, never labels (§6).
+				continue
+			}
+			label := packet.ShadowMAC(host, tr.Index)
+			hostLeaf := c.topo.LeafOf(host)
+			for _, leaf := range c.topo.Leaves {
+				sw := c.net.Switch(leaf)
+				if leaf == hostLeaf {
+					sw.InstallLabel(label, c.topo.HostLink(host))
+				} else if lid, ok := tr.LeafLink[leaf]; ok {
+					sw.InstallLabel(label, lid)
+				}
+				sw.SetNumTrees(len(c.trees))
+			}
+			if len(c.topo.Spines) > 0 {
+				if lid, ok := tr.LeafLink[hostLeaf]; ok {
+					sw := c.net.Switch(tr.Spine)
+					sw.InstallLabel(label, lid)
+					sw.SetNumTrees(len(c.trees))
+				}
+			}
+		}
+	}
+	c.pushMappings()
+}
+
+// installRooted installs per-host labels along rooted (3-tier) trees:
+// at every switch the tree's Route covers, the label's egress is the
+// tree edge toward the host's leaf; the host's own leaf forwards to
+// the host port.
+func (c *Controller) installRooted() {
+	for _, tr := range c.trees {
+		for _, hostNode := range c.topo.Hosts {
+			host := c.topo.Nodes[hostNode].Host
+			if c.topo.SpineAttached(host) {
+				continue
+			}
+			label := packet.ShadowMAC(host, tr.Index)
+			hostLeaf := c.topo.LeafOf(host)
+			for sw := range tr.Route {
+				node := c.net.Switch(sw)
+				node.SetNumTrees(len(c.trees))
+				if sw == hostLeaf {
+					node.InstallLabel(label, c.topo.HostLink(host))
+					continue
+				}
+				if lid, ok := tr.NextLink(sw, hostLeaf); ok {
+					node.InstallLabel(label, lid)
+				}
+			}
+			// The host's leaf may not appear in Route (it has no
+			// forwarding decisions for other leaves' traffic in tiny
+			// topologies); ensure the terminal entry exists.
+			leafSw := c.net.Switch(hostLeaf)
+			leafSw.InstallLabel(label, c.topo.HostLink(host))
+			leafSw.SetNumTrees(len(c.trees))
+		}
+	}
+}
+
+// installTunnels installs one label per (destination leaf, tree):
+// uplink entries at every other leaf, a downlink entry at the tree's
+// spine, and nothing at the terminal leaf (it forwards on L3).
+func (c *Controller) installTunnels() {
+	for _, tr := range c.trees {
+		for di, dstLeaf := range c.topo.Leaves {
+			label := packet.TunnelMAC(di, tr.Index)
+			for _, leaf := range c.topo.Leaves {
+				sw := c.net.Switch(leaf)
+				sw.SetNumTrees(len(c.trees))
+				if leaf == dstLeaf {
+					continue
+				}
+				if lid, ok := tr.LeafLink[leaf]; ok {
+					sw.InstallLabel(label, lid)
+				}
+			}
+			if len(c.topo.Spines) > 0 {
+				sw := c.net.Switch(tr.Spine)
+				sw.InstallLabel(label, tr.LeafLink[dstLeaf])
+				sw.SetNumTrees(len(c.trees))
+			}
+		}
+	}
+}
+
+// leafIndex returns the position of a leaf node in Topology.Leaves.
+func (c *Controller) leafIndex(leaf topo.NodeID) int {
+	for i, l := range c.topo.Leaves {
+		if l == leaf {
+			return i
+		}
+	}
+	return -1
+}
+
+// treeUsable reports whether tree tr currently connects the two
+// leaves: every link on the tree path from srcLeaf to dstLeaf is up.
+func (c *Controller) treeUsable(tr topo.Tree, srcLeaf, dstLeaf topo.NodeID) bool {
+	if len(tr.LeafLink) == 0 && tr.Route == nil {
+		return true // degenerate single-switch tree
+	}
+	at := srcLeaf
+	for hops := 0; at != dstLeaf && hops < 8; hops++ {
+		lid, ok := tr.NextLink(at, dstLeaf)
+		if !ok || !c.net.LinkUp(lid) {
+			return false
+		}
+		at = c.topo.Links[lid].Other(at)
+	}
+	return at == dstLeaf
+}
+
+// pushMappings (re)computes and disseminates per-destination label
+// lists for every registered vSwitch, excluding trees broken for that
+// source/destination pair. Equal weights across surviving trees; the
+// duplication mechanism of §3.3 is available through
+// vswitch.SetMapping for custom weighting.
+func (c *Controller) pushMappings() {
+	c.Updates++
+	for srcHost, vs := range c.vswitches {
+		srcLeaf := c.topo.LeafOf(srcHost)
+		for _, dstNode := range c.topo.Hosts {
+			dst := c.topo.Nodes[dstNode].Host
+			if dst == srcHost {
+				continue
+			}
+			if c.topo.SpineAttached(srcHost) || c.topo.SpineAttached(dst) {
+				// Remote users (either end) use plain L3 forwarding.
+				vs.SetMapping(dst, nil)
+				continue
+			}
+			if c.topo.SameLeaf(srcHost, dst) || (len(c.topo.Spines) == 0 && len(c.topo.Cores) == 0) {
+				// Direct: a single minimal path; no multipathing needed.
+				vs.SetMapping(dst, nil)
+				continue
+			}
+			dstLeaf := c.topo.LeafOf(dst)
+			var macs []packet.MAC
+			for _, tr := range c.trees {
+				if c.treeUsable(tr, srcLeaf, dstLeaf) {
+					if c.cfg.TunnelMode {
+						macs = append(macs, packet.TunnelMAC(c.leafIndex(dstLeaf), tr.Index))
+					} else {
+						macs = append(macs, packet.ShadowMAC(dst, tr.Index))
+					}
+				}
+			}
+			vs.SetMapping(dst, macs)
+		}
+	}
+}
+
+// HandleLinkFailure is invoked when the fabric loses a link (the
+// cluster wires fabric failures to this). The weighted-multipathing
+// update lands after UpdateLatency; until then, senders keep spraying
+// over the old label lists and the switches' fast failover detours
+// the broken tree.
+func (c *Controller) HandleLinkFailure(id topo.LinkID) {
+	c.eng.Schedule(c.cfg.UpdateLatency, c.pushMappings)
+}
+
+// HandleLinkRestore re-includes recovered trees after the same
+// control-loop latency.
+func (c *Controller) HandleLinkRestore(id topo.LinkID) {
+	c.eng.Schedule(c.cfg.UpdateLatency, c.pushMappings)
+}

@@ -1,0 +1,222 @@
+package fabric
+
+import (
+	"fmt"
+
+	"presto/internal/packet"
+	"presto/internal/sim"
+	"presto/internal/topo"
+)
+
+// Handler receives packets delivered to a host's NIC.
+type Handler interface {
+	HandlePacket(p *packet.Packet)
+}
+
+// Config sets the dynamic parameters of the fabric.
+type Config struct {
+	// SwitchQueueBytes is the per-port output buffer at switches. The
+	// testbed's G8264 switches draw on a multi-megabyte shared buffer;
+	// the default matches the multi-millisecond RTT tails the paper
+	// measures under congestion (Figures 8, 11).
+	SwitchQueueBytes int
+	// HostQueueBytes is the host NIC's transmit queue (driver ring),
+	// deeper than a switch port.
+	HostQueueBytes int
+	// FailoverLatency is the time between a link failing and the
+	// hardware fast-failover rule activating ("several to tens of
+	// milliseconds", §3.3). Until it elapses, traffic to the dead port
+	// is black-holed.
+	FailoverLatency sim.Time
+	// DisableFailover turns off backup-tree rewriting at switches
+	// (Presto leverages failover; plain ECMP fabrics may not). The
+	// zero value leaves failover enabled.
+	DisableFailover bool
+	// ECNThresholdBytes makes switch ports mark Congestion Experienced
+	// on packets that arrive to a queue deeper than this (DCTCP-style
+	// marking). Zero disables marking. Host access pipes never mark.
+	ECNThresholdBytes int
+}
+
+// DefaultConfig returns testbed-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		SwitchQueueBytes: 2 << 20,
+		HostQueueBytes:   4 * 1024 * 1024,
+		FailoverLatency:  5 * sim.Millisecond,
+	}
+}
+
+func (c *Config) fill() {
+	d := DefaultConfig()
+	if c.SwitchQueueBytes == 0 {
+		c.SwitchQueueBytes = d.SwitchQueueBytes
+	}
+	if c.HostQueueBytes == 0 {
+		c.HostQueueBytes = d.HostQueueBytes
+	}
+	if c.FailoverLatency == 0 {
+		c.FailoverLatency = d.FailoverLatency
+	}
+}
+
+type pipeKey struct {
+	link topo.LinkID
+	from topo.NodeID
+}
+
+// Network is the running data plane for a Topology.
+type Network struct {
+	Eng  *sim.Engine
+	Topo *topo.Topology
+	cfg  Config
+
+	pipes    map[pipeKey]*Pipe
+	switches map[topo.NodeID]*Switch
+	hosts    map[packet.HostID]Handler
+
+	// Aggregate counters.
+	TotalDrops     uint64 // queue-overflow drops
+	TotalDropsDown uint64 // failure black-hole drops
+	TotalDelivered uint64 // packets handed to host NICs
+	TotalHopDrops  uint64 // loop-guard drops
+
+	linkDownSince map[topo.LinkID]sim.Time
+}
+
+// New builds the data plane for t.
+func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Network {
+	cfg.fill()
+	n := &Network{
+		Eng:           eng,
+		Topo:          t,
+		cfg:           cfg,
+		pipes:         make(map[pipeKey]*Pipe),
+		switches:      make(map[topo.NodeID]*Switch),
+		hosts:         make(map[packet.HostID]Handler),
+		linkDownSince: make(map[topo.LinkID]sim.Time),
+	}
+	for _, l := range t.Links {
+		for _, from := range []topo.NodeID{l.A, l.B} {
+			capBytes := cfg.SwitchQueueBytes
+			if t.Nodes[from].Kind == topo.KindHost {
+				capBytes = cfg.HostQueueBytes
+			}
+			n.pipes[pipeKey{l.ID, from}] = &Pipe{
+				eng: eng, net: n, link: l, from: from, capBytes: capBytes,
+			}
+		}
+	}
+	for _, node := range t.Nodes {
+		if node.Kind != topo.KindHost {
+			n.switches[node.ID] = newSwitch(n, node)
+		}
+	}
+	return n
+}
+
+// AttachHost registers the packet handler (NIC) for host h.
+func (n *Network) AttachHost(h packet.HostID, handler Handler) {
+	n.hosts[h] = handler
+}
+
+// Switch returns the switch at node id.
+func (n *Network) Switch(id topo.NodeID) *Switch { return n.switches[id] }
+
+// Pipe returns the directed pipe of link id transmitting from node
+// from.
+func (n *Network) Pipe(id topo.LinkID, from topo.NodeID) *Pipe {
+	return n.pipes[pipeKey{id, from}]
+}
+
+// SendFromHost injects a packet from host h onto its access link.
+func (n *Network) SendFromHost(h packet.HostID, p *packet.Packet) {
+	lid := n.Topo.HostLink(h)
+	n.pipes[pipeKey{lid, n.Topo.HostNode(h)}].Enqueue(p)
+}
+
+// deliver hands a packet that finished propagating to its next node.
+func (n *Network) deliver(node topo.NodeID, p *packet.Packet) {
+	nd := n.Topo.Nodes[node]
+	if nd.Kind == topo.KindHost {
+		n.TotalDelivered++
+		if h := n.hosts[nd.Host]; h != nil {
+			h.HandlePacket(p)
+		}
+		return
+	}
+	n.switches[node].forward(p)
+}
+
+// FailLink takes both directions of link id down. Switch fast-failover
+// rules activate after the configured latency.
+func (n *Network) FailLink(id topo.LinkID) {
+	if _, dead := n.linkDownSince[id]; dead {
+		return
+	}
+	n.linkDownSince[id] = n.Eng.Now()
+	l := n.Topo.Links[id]
+	n.pipes[pipeKey{id, l.A}].fail()
+	n.pipes[pipeKey{id, l.B}].fail()
+}
+
+// RestoreLink brings link id back up.
+func (n *Network) RestoreLink(id topo.LinkID) {
+	if _, dead := n.linkDownSince[id]; !dead {
+		return
+	}
+	delete(n.linkDownSince, id)
+	l := n.Topo.Links[id]
+	n.pipes[pipeKey{id, l.A}].restore()
+	n.pipes[pipeKey{id, l.B}].restore()
+}
+
+// LinkUp reports whether link id is up.
+func (n *Network) LinkUp(id topo.LinkID) bool {
+	_, dead := n.linkDownSince[id]
+	return !dead
+}
+
+// failoverActive reports whether the fast-failover rule covering link
+// id has kicked in (the link has been down for at least the failover
+// latency).
+func (n *Network) failoverActive(id topo.LinkID) bool {
+	since, dead := n.linkDownSince[id]
+	if !dead || n.cfg.DisableFailover {
+		return false
+	}
+	return n.Eng.Now() >= since+n.cfg.FailoverLatency
+}
+
+// DownLinks returns the currently failed links.
+func (n *Network) DownLinks() []topo.LinkID {
+	var out []topo.LinkID
+	for id := range n.linkDownSince {
+		out = append(out, id)
+	}
+	return out
+}
+
+// LossRate returns queue-overflow drops as a fraction of packets
+// offered to switch ports (host access pipes excluded), mirroring the
+// paper's switch-counter measurement.
+func (n *Network) LossRate() float64 {
+	var drops, enq uint64
+	for k, p := range n.pipes {
+		if n.Topo.Nodes[k.from].Kind == topo.KindHost {
+			continue
+		}
+		drops += p.Drops
+		enq += p.EnqPackets
+	}
+	if enq == 0 {
+		return 0
+	}
+	return float64(drops) / float64(enq)
+}
+
+// String summarizes counters for debugging.
+func (n *Network) String() string {
+	return fmt.Sprintf("fabric{delivered=%d drops=%d down=%d hop=%d}",
+		n.TotalDelivered, n.TotalDrops, n.TotalDropsDown, n.TotalHopDrops)
+}

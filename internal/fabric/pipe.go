@@ -1,0 +1,115 @@
+// Package fabric simulates the dynamic data plane of a topology:
+// directed link queues with serialization and propagation delay,
+// output-queued switches that forward on shadow-MAC labels or ECMP
+// hash groups, link failures, and hardware-style fast failover
+// (label-rewrite to a backup spanning tree, §3.3).
+package fabric
+
+import (
+	"presto/internal/packet"
+	"presto/internal/sim"
+	"presto/internal/topo"
+)
+
+// Pipe is one direction of a link: an output queue draining at the
+// link rate, followed by propagation delay. Packets that would
+// overflow the queue are dropped (tail drop), as in the paper's
+// shallow-buffered 10 GbE switches.
+type Pipe struct {
+	eng  *sim.Engine
+	net  *Network
+	link topo.Link
+	from topo.NodeID // transmitting end
+
+	capBytes   int
+	queuedWire int // wire bytes currently queued (excluding in-flight)
+	queue      []*packet.Packet
+	busy       bool
+	down       bool
+
+	// Counters (switch-counter analogues; loss rate in the paper is
+	// measured from these).
+	TxPackets  uint64
+	TxBytes    uint64
+	Drops      uint64 // tail drops
+	DropsDown  uint64 // black-holed while the link was down
+	EnqPackets uint64
+	LastActive sim.Time
+}
+
+// Up reports whether the pipe's link is up.
+func (p *Pipe) Up() bool { return !p.down }
+
+// QueuedBytes returns the wire bytes waiting in the queue.
+func (p *Pipe) QueuedBytes() int { return p.queuedWire }
+
+// Enqueue places pkt on the output queue, dropping it if the link is
+// down or the queue is full.
+func (p *Pipe) Enqueue(pkt *packet.Packet) {
+	p.EnqPackets++
+	if p.down {
+		p.DropsDown++
+		p.net.TotalDropsDown++
+		return
+	}
+	w := pkt.WireSize()
+	if p.queuedWire+w > p.capBytes {
+		p.Drops++
+		p.net.TotalDrops++
+		return
+	}
+	if t := p.net.cfg.ECNThresholdBytes; t > 0 && p.queuedWire > t &&
+		p.net.Topo.Nodes[p.from].Kind != topo.KindHost {
+		pkt.CE = true
+	}
+	p.queuedWire += w
+	p.queue = append(p.queue, pkt)
+	if !p.busy {
+		p.transmitNext()
+	}
+}
+
+func (p *Pipe) transmitNext() {
+	if len(p.queue) == 0 || p.down {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	pkt := p.queue[0]
+	p.queue = p.queue[1:]
+	w := pkt.WireSize()
+	p.queuedWire -= w
+	ser := sim.Time(int64(w) * 8 * int64(sim.Second) / p.link.BitsPerSec)
+	p.eng.Schedule(ser, func() {
+		p.TxPackets++
+		p.TxBytes += uint64(w)
+		p.LastActive = p.eng.Now()
+		if !p.down {
+			// Propagation: the packet arrives at the far end later; the
+			// queue meanwhile keeps draining.
+			dst := p.link.Other(p.from)
+			p.eng.Schedule(p.link.Propagation, func() { p.net.deliver(dst, pkt) })
+		} else {
+			p.DropsDown++
+			p.net.TotalDropsDown++
+		}
+		p.transmitNext()
+	})
+}
+
+// fail marks the pipe down and discards its queue.
+func (p *Pipe) fail() {
+	p.down = true
+	p.DropsDown += uint64(len(p.queue))
+	p.net.TotalDropsDown += uint64(len(p.queue))
+	p.queue = nil
+	p.queuedWire = 0
+}
+
+// restore brings the pipe back up.
+func (p *Pipe) restore() {
+	p.down = false
+	if !p.busy {
+		p.transmitNext()
+	}
+}

@@ -1,0 +1,101 @@
+package gro
+
+import (
+	"presto/internal/packet"
+	"presto/internal/sim"
+)
+
+// LRO models hardware Large Receive Offload in front of a software
+// GRO handler — the stacking §2.2 calls out ("GRO can still be applied
+// on packets pushed up from LRO, which means hardware doesn't have to
+// be modified or made complex").
+//
+// Hardware LRO is stateless across interrupts and strictly in-order:
+// within one interrupt window it coalesces consecutive same-flow
+// packets into super-packets; any discontinuity (reordering, flowcell
+// boundary — TCP options must match) flushes the current super-packet.
+// The coalesced packets are handed to the inner handler (official or
+// Presto GRO), which still sees flowcell IDs intact because LRO never
+// merges across option boundaries.
+type LRO struct {
+	Eng   *sim.Engine
+	Inner Handler
+
+	// MaxSuper caps a super-packet's payload (hardware LRO typically
+	// coalesces up to ~64 KB).
+	MaxSuper int
+
+	cur   map[packet.FlowKey]*packet.Packet
+	order []packet.FlowKey
+
+	// HWMerges counts packets coalesced in "hardware".
+	HWMerges uint64
+}
+
+// NewLRO stacks hardware LRO in front of inner.
+func NewLRO(eng *sim.Engine, inner Handler) *LRO {
+	return &LRO{
+		Eng:      eng,
+		Inner:    inner,
+		MaxSuper: packet.MaxSegSize,
+		cur:      make(map[packet.FlowKey]*packet.Packet),
+	}
+}
+
+// Receive implements Handler.
+func (l *LRO) Receive(p *packet.Packet) {
+	if control(p) {
+		l.Inner.Receive(p)
+		return
+	}
+	cur, ok := l.cur[p.Flow]
+	if ok {
+		if p.Seq == cur.EndSeq() && p.FlowcellID == cur.FlowcellID &&
+			cur.Payload+p.Payload <= l.MaxSuper && p.CE == cur.CE {
+			// In-order continuation: hardware coalesce.
+			cur.Payload += p.Payload
+			cur.Flags |= p.Flags & packet.FlagPSH
+			if packet.SeqGT(p.Ack, cur.Ack) {
+				cur.Ack = p.Ack
+			}
+			l.HWMerges++
+			return
+		}
+		// Discontinuity: push the super-packet to software and restart.
+		l.pushCur(p.Flow, cur)
+	}
+	l.put(p.Flow, p.Clone())
+}
+
+// Flush implements Handler: hardware state does not survive the
+// interrupt — everything goes to software, then software flushes.
+func (l *LRO) Flush() {
+	for _, f := range l.order {
+		if cur, ok := l.cur[f]; ok {
+			delete(l.cur, f)
+			l.Inner.Receive(cur)
+		}
+	}
+	l.order = l.order[:0]
+	l.Inner.Flush()
+}
+
+// Stats implements Handler, exposing the inner software handler's
+// counters (hardware merges are reported separately via HWMerges).
+func (l *LRO) Stats() *Stats { return l.Inner.Stats() }
+
+func (l *LRO) put(f packet.FlowKey, p *packet.Packet) {
+	l.cur[f] = p
+	l.order = append(l.order, f)
+}
+
+func (l *LRO) pushCur(f packet.FlowKey, cur *packet.Packet) {
+	delete(l.cur, f)
+	for i, k := range l.order {
+		if k == f {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+	l.Inner.Receive(cur)
+}

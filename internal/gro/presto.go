@@ -1,0 +1,290 @@
+package gro
+
+import (
+	"sort"
+
+	"presto/internal/metrics"
+	"presto/internal/packet"
+	"presto/internal/sim"
+)
+
+// PrestoConfig tunes the Presto GRO handler. The paper sets Alpha and
+// Beta to 2 and finds they work over a wide parameter range (§3.2).
+type PrestoConfig struct {
+	// Alpha scales the EWMA of observed reorder-resolution times into
+	// the hold timeout applied at flowcell-boundary gaps.
+	Alpha float64
+	// Beta extends a timed-out segment's hold if a packet merged into
+	// it within EWMA/Beta.
+	Beta float64
+	// InitialEWMA seeds the reorder-time estimate before any
+	// observation.
+	InitialEWMA sim.Time
+	// MinEWMA floors the effective estimate so that a run of
+	// instantly-resolved gaps cannot collapse the hold timeout to
+	// zero (which would degenerate Presto GRO into immediate pushes).
+	MinEWMA sim.Time
+	// EWMAWeight is the smoothing factor for new observations.
+	EWMAWeight float64
+}
+
+// DefaultPrestoConfig returns the paper's settings.
+func DefaultPrestoConfig() PrestoConfig {
+	// InitialEWMA starts above the worst path skew a loaded fabric
+	// shows, so the estimator adapts *down* to observed resolution
+	// times; starting low is a trap — gaps would time out before any
+	// resolution could ever be observed, and the estimate could never
+	// grow past alpha times itself.
+	return PrestoConfig{
+		Alpha: 2, Beta: 2,
+		InitialEWMA: 500 * sim.Microsecond,
+		MinEWMA:     20 * sim.Microsecond,
+		EWMAWeight:  0.25,
+	}
+}
+
+func (c *PrestoConfig) fill() {
+	d := DefaultPrestoConfig()
+	if c.Alpha == 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.Beta == 0 {
+		c.Beta = d.Beta
+	}
+	if c.InitialEWMA == 0 {
+		c.InitialEWMA = d.InitialEWMA
+	}
+	if c.MinEWMA == 0 {
+		c.MinEWMA = d.MinEWMA
+	}
+	if c.EWMAWeight == 0 {
+		c.EWMAWeight = d.EWMAWeight
+	}
+}
+
+// prestoFlow is the per-flow state of Algorithm 2.
+type prestoFlow struct {
+	segs []*packet.Segment // segment_list; new segments go at the head
+
+	init         bool
+	lastFlowcell uint32 // flowcell of the most recent in-order byte
+	expSeq       uint32 // next expected in-order sequence number
+
+	// Reorder-time tracking: gapSince is when the current boundary gap
+	// was first seen (valid only while gapActive); ewma estimates how
+	// long reordering takes to resolve, and mdev its mean deviation.
+	//
+	// The deviation term is a robustness extension over the paper's
+	// plain EWMA: resolution times on a loaded fabric are long-tailed
+	// (path skew follows the queue-depth differential), and a hold of
+	// alpha*mean alone misreads tail reordering as loss. Holding for
+	// alpha*(mean + 8*mdev) — Jacobson's RTO estimator applied to
+	// reorder gaps, with a wider deviation multiplier because gap
+	// resolution skew is heavier-tailed than RTT noise — covers the
+	// tail while adapting just as fast.
+	gapActive bool
+	gapSince  sim.Time
+	ewma      metrics.EWMA
+	mdev      metrics.EWMA
+}
+
+// observeResolution folds one gap-resolution duration into the flow's
+// estimator.
+func (f *prestoFlow) observeResolution(d float64) {
+	if f.ewma.Initialized() {
+		delta := d - f.ewma.Value()
+		if delta < 0 {
+			delta = -delta
+		}
+		f.mdev.Observe(delta)
+	} else {
+		f.mdev.Observe(d / 2)
+	}
+	f.ewma.Observe(d)
+}
+
+// Presto is the paper's modified GRO handler (Algorithm 2). It keeps
+// multiple segments per flow so reordered packets can merge into
+// earlier segments, uses flowcell IDs to separate loss (gap inside a
+// flowcell: push immediately) from reordering (gap at a flowcell
+// boundary: hold briefly), and adapts its hold timeout to observed
+// reordering via an EWMA.
+type Presto struct {
+	Eng *sim.Engine
+	Out Output
+	cfg PrestoConfig
+
+	flows map[packet.FlowKey]*prestoFlow
+	order []packet.FlowKey
+	timer *sim.Timer
+	stats Stats
+}
+
+// NewPresto returns a Presto GRO handler.
+func NewPresto(eng *sim.Engine, out Output, cfg PrestoConfig) *Presto {
+	cfg.fill()
+	p := &Presto{Eng: eng, Out: out, cfg: cfg, flows: make(map[packet.FlowKey]*prestoFlow)}
+	p.timer = sim.NewTimer(eng, p.Flush)
+	return p
+}
+
+// Receive implements Handler: merge p into an existing segment of its
+// flow if contiguous within the same flowcell, else create a new
+// segment at the head of the list (O(1) for the common in-order case,
+// §3.2).
+func (g *Presto) Receive(p *packet.Packet) {
+	now := g.Eng.Now()
+	if control(p) {
+		g.stats.ControlOut++
+		g.Out.DeliverSegment(segFromPacket(p, now))
+		return
+	}
+	g.stats.PacketsIn++
+	f, ok := g.flows[p.Flow]
+	if !ok {
+		f = &prestoFlow{}
+		f.ewma.Alpha = g.cfg.EWMAWeight
+		f.mdev.Alpha = g.cfg.EWMAWeight
+		g.flows[p.Flow] = f
+		g.order = append(g.order, p.Flow)
+	}
+	for _, seg := range f.segs {
+		if mergeTail(seg, p, now) || mergeHead(seg, p, now) {
+			g.stats.Merges++
+			return
+		}
+	}
+	f.segs = append([]*packet.Segment{segFromPacket(p, now)}, f.segs...)
+}
+
+// Flush implements Handler: Algorithm 2's flush function, run at the
+// end of every poll event (and again from a timer while segments are
+// held).
+func (g *Presto) Flush() {
+	now := g.Eng.Now()
+	ewmaVal := func(f *prestoFlow) sim.Time {
+		e := g.cfg.InitialEWMA
+		if f.ewma.Initialized() {
+			e = sim.Time(f.ewma.Value() + 8*f.mdev.Value())
+		}
+		if e < g.cfg.MinEWMA {
+			e = g.cfg.MinEWMA
+		}
+		return e
+	}
+
+	var nextDeadline sim.Time = -1
+	held := false
+	for _, key := range g.order {
+		f := g.flows[key]
+		if f == nil || len(f.segs) == 0 {
+			continue
+		}
+		// Reordering can leave the list slightly out of order; sort by
+		// start sequence before walking (the paper's insertion sort —
+		// the list is mostly sorted so this is cheap).
+		sort.SliceStable(f.segs, func(i, j int) bool {
+			return packet.SeqLT(f.segs[i].StartSeq, f.segs[j].StartSeq)
+		})
+		if !f.init {
+			// Seed flow state from the first (lowest-seq) segment.
+			f.init = true
+			f.lastFlowcell = f.segs[0].FlowcellID
+			f.expSeq = f.segs[0].StartSeq
+		}
+		kept := f.segs[:0]
+		e := ewmaVal(f)
+		holdUntil := func(s *packet.Segment) sim.Time {
+			deadline := s.CreatedAt + sim.Time(g.cfg.Alpha*float64(e))
+			merged := s.LastMerge + sim.Time(float64(e)/g.cfg.Beta)
+			if merged > deadline {
+				return merged
+			}
+			return deadline
+		}
+		for _, s := range f.segs {
+			switch {
+			case s.FlowcellID == f.lastFlowcell:
+				// Lines 3-5: same flowcell. Any gap inside a flowcell is
+				// loss (its packets share one path), so push immediately.
+				f.expSeq = packet.SeqMax(f.expSeq, s.EndSeq)
+				g.stats.deliverData(g.Out, s)
+			case packet.SeqGT(s.FlowcellID, f.lastFlowcell):
+				switch {
+				case f.expSeq == s.StartSeq:
+					// Lines 7-10: next flowcell starts exactly in order.
+					if f.gapActive {
+						// A boundary gap just resolved as pure reordering:
+						// feed the resolution time into the estimator.
+						f.observeResolution(float64(now - f.gapSince))
+						f.gapActive = false
+					}
+					f.lastFlowcell = s.FlowcellID
+					f.expSeq = s.EndSeq
+					g.stats.deliverData(g.Out, s)
+				case packet.SeqGT(f.expSeq, s.StartSeq):
+					// Lines 11-13: overlap — a retransmitted first packet
+					// of a new flowcell. Push so TCP reacts immediately.
+					f.lastFlowcell = s.FlowcellID
+					f.expSeq = packet.SeqMax(f.expSeq, s.EndSeq)
+					g.stats.deliverData(g.Out, s)
+				case now >= holdUntil(s):
+					// Lines 14-18: held long enough — declare loss. The
+					// elapsed hold still feeds the estimator: if this was
+					// in fact slow reordering, the next hold is longer
+					// (without this, the estimate could never grow past
+					// alpha times itself and tail reordering would be
+					// misread as loss forever).
+					g.stats.TimeoutFires++
+					if f.gapActive {
+						f.observeResolution(float64(now - f.gapSince))
+					}
+					f.gapActive = false
+					f.lastFlowcell = s.FlowcellID
+					f.expSeq = s.EndSeq
+					g.stats.deliverData(g.Out, s)
+				default:
+					// Boundary gap, still within the adaptive hold: keep
+					// the segment so in-flight packets can fill the gap.
+					if !f.gapActive {
+						f.gapActive = true
+						f.gapSince = now
+					}
+					kept = append(kept, s)
+					held = true
+					if d := holdUntil(s); nextDeadline < 0 || d < nextDeadline {
+						nextDeadline = d
+					}
+				}
+			default:
+				// Line 20: stale flowcell (late retransmission) — push
+				// immediately.
+				g.stats.deliverData(g.Out, s)
+			}
+		}
+		f.segs = kept
+	}
+	if held {
+		g.stats.ReorderHolds++
+		delay := nextDeadline - now
+		if delay < sim.Microsecond {
+			delay = sim.Microsecond
+		}
+		g.timer.Reset(delay)
+	} else {
+		g.timer.Stop()
+	}
+}
+
+// Stats implements Handler.
+func (g *Presto) Stats() *Stats { return &g.stats }
+
+// HeldSegments returns the number of segments currently held across
+// flows (zero when no reordering is in flight).
+func (g *Presto) HeldSegments() int {
+	n := 0
+	for _, f := range g.flows {
+		n += len(f.segs)
+	}
+	return n
+}

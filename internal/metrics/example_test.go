@@ -1,0 +1,34 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"presto/internal/metrics"
+)
+
+func ExampleDist() {
+	var d metrics.Dist
+	for i := 1; i <= 1000; i++ {
+		d.Add(float64(i))
+	}
+	fmt.Printf("p50=%.0f p99=%.0f max=%.0f\n", d.Percentile(50), d.Percentile(99), d.Max())
+	// Output: p50=500 p99=990 max=1000
+}
+
+func ExampleJainIndex() {
+	fair := metrics.JainIndex([]float64{9.3, 9.3, 9.3, 9.3})
+	unfair := metrics.JainIndex([]float64{9.3, 1.0, 1.0, 1.0})
+	fmt.Printf("fair=%.2f unfair=%.2f\n", fair, unfair)
+	// Output: fair=1.00 unfair=0.42
+}
+
+func ExampleTable() {
+	t := metrics.Table{Header: []string{"scheme", "Gbps"}}
+	t.AddRow("ECMP", "5.7")
+	t.AddRow("Presto", "9.3")
+	fmt.Print(t.String())
+	// Output:
+	// scheme  Gbps
+	// ECMP    5.7
+	// Presto  9.3
+}

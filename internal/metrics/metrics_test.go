@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.N() != 0 || d.Mean() != 0 || d.Percentile(50) != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Fatal("empty Dist should return zeros")
+	}
+	if d.CDF(10) != nil {
+		t.Fatal("empty Dist CDF should be nil")
+	}
+}
+
+func TestDistPercentiles(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 100}, {50, 50.5}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := d.Percentile(c.p); math.Abs(got-c.want) > 0.011 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDistMeanMinMaxStddev(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Add(v)
+	}
+	if d.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", d.Mean())
+	}
+	if d.Min() != 2 || d.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", d.Min(), d.Max())
+	}
+	if d.Stddev() != 2 {
+		t.Errorf("Stddev = %v, want 2", d.Stddev())
+	}
+}
+
+func TestDistAddAfterQueryResorts(t *testing.T) {
+	var d Dist
+	d.Add(10)
+	_ = d.Median()
+	d.Add(1)
+	if d.Min() != 1 {
+		t.Fatal("Dist failed to re-sort after Add following a query")
+	}
+}
+
+func TestDistFractionBelow(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 10; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.FractionBelow(5); got != 0.5 {
+		t.Errorf("FractionBelow(5) = %v, want 0.5", got)
+	}
+	if got := d.FractionBelow(0.5); got != 0 {
+		t.Errorf("FractionBelow(0.5) = %v, want 0", got)
+	}
+	if got := d.FractionBelow(10); got != 1 {
+		t.Errorf("FractionBelow(10) = %v, want 1", got)
+	}
+}
+
+func TestDistCDFMonotonic(t *testing.T) {
+	prop := func(vals []float64) bool {
+		var d Dist
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			d.Add(v)
+		}
+		cdf := d.CDF(16)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+				return false
+			}
+		}
+		if n := len(cdf); n > 0 && cdf[n-1].Fraction != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is bounded by min/max and monotone in p.
+func TestDistPercentileProperty(t *testing.T) {
+	prop := func(vals []float64, a, b uint8) bool {
+		var d Dist
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			d.Add(v)
+		}
+		if d.N() == 0 {
+			return true
+		}
+		p1 := float64(a) / 255 * 100
+		p2 := float64(b) / 255 * 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := d.Percentile(p1), d.Percentile(p2)
+		return v1 <= v2 && v1 >= d.Min() && v2 <= d.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares: %v, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("single hog of 4: %v, want 0.25", got)
+	}
+	if got := JainIndex(nil); got != 1 {
+		t.Errorf("empty: %v, want 1", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all zero: %v, want 1", got)
+	}
+}
+
+// Property: Jain's index is within (0, 1] and scale-invariant.
+func TestJainIndexProperty(t *testing.T) {
+	prop := func(raw []uint16, scale uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			xs = append(xs, float64(v))
+		}
+		j := JainIndex(xs)
+		if j <= 0 || j > 1+1e-12 {
+			return false
+		}
+		k := float64(scale%10) + 0.5
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * k
+		}
+		return math.Abs(JainIndex(scaled)-j) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Initialized() {
+		t.Fatal("zero EWMA should be uninitialized")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first observation should seed: %v", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("EWMA = %v, want 15", e.Value())
+	}
+	e.Observe(15)
+	if e.Value() != 15 {
+		t.Fatalf("EWMA = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMAConvergence(t *testing.T) {
+	e := EWMA{Alpha: 0.25}
+	for i := 0; i < 100; i++ {
+		e.Observe(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Fatalf("EWMA failed to converge: %v", e.Value())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 10)
+	s.Add(1, 20)
+	if s.N() != 2 || s.Mean() != 15 {
+		t.Fatalf("Series N=%d mean=%v, want 2/15", s.N(), s.Mean())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Header: []string{"Scheme", "Tput"}}
+	tb.AddRow("ECMP", "5.7")
+	tb.AddRow("Presto", "9.3")
+	out := tb.String()
+	if out == "" {
+		t.Fatal("empty table output")
+	}
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("table has %d lines, want 3:\n%s", lines, out)
+	}
+}
+
+func TestDistSamplesSorted(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{3, 1, 2} {
+		d.Add(v)
+	}
+	if !sort.Float64sAreSorted(d.Samples()) {
+		t.Fatal("Samples() not sorted")
+	}
+}
+
+func TestRenderQuantileBars(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	out := RenderQuantileBars(&d, []float64{50, 99}, 20, "ms")
+	if out == "" || len(out) < 20 {
+		t.Fatalf("render too short: %q", out)
+	}
+	var empty Dist
+	if RenderQuantileBars(&empty, []float64{50}, 20, "") != "(no samples)\n" {
+		t.Fatal("empty dist render wrong")
+	}
+}

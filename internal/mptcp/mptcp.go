@@ -1,0 +1,226 @@
+// Package mptcp models Multipath TCP the way the paper's baseline
+// runs it: 8 subflows per connection, each hashed onto a path by
+// per-flow ECMP (distinct source ports), with coupled congestion
+// control so the connection as a whole is no more aggressive than one
+// TCP flow. Loss on one subflow halves only that subflow — the
+// behaviour behind MPTCP's higher loss rates in §5 ("when a single
+// loss occurs, only one subflow reduces its rate").
+//
+// Substitution note (DESIGN.md): the paper runs OLIA; this package
+// implements LIA-style coupling (Wischik et al.), which shares OLIA's
+// essential property — coupled increase, per-subflow decrease — and
+// reproduces the bursty, loss-tolerant behaviour the paper measures.
+// The connection-level scheduler assigns application bytes to
+// subflows by available window, and delivery is tracked as the sum of
+// subflow streams.
+package mptcp
+
+import (
+	"presto/internal/packet"
+	"presto/internal/sim"
+	"presto/internal/tcp"
+)
+
+// DefaultSubflows is the paper's subflow count (§4).
+const DefaultSubflows = 8
+
+// Sender is the sending half of an MPTCP connection.
+type Sender struct {
+	eng     *sim.Engine
+	subs    []*tcp.Endpoint
+	pending int
+	total   int
+	// OnAcked fires with the connection-level total of acked bytes.
+	OnAcked func(total uint64)
+}
+
+// NewSender couples the given subflow endpoints into one MPTCP
+// connection. The endpoints must be freshly created (no data in
+// flight); their congestion controllers are replaced with the coupled
+// one.
+func NewSender(eng *sim.Engine, subs []*tcp.Endpoint) *Sender {
+	s := &Sender{eng: eng, subs: subs}
+	cc := &coupled{conn: s}
+	for _, e := range subs {
+		e.SetCongestionControl(cc)
+		e.OnAcked = func(uint64) {
+			s.pump()
+			if s.OnAcked != nil {
+				s.OnAcked(s.Acked())
+			}
+		}
+	}
+	return s
+}
+
+// Subflows returns the sender-side endpoints.
+func (s *Sender) Subflows() []*tcp.Endpoint { return s.subs }
+
+// Write queues n bytes on the connection; the scheduler spreads them
+// over subflows as window space opens.
+func (s *Sender) Write(n int) {
+	s.pending += n
+	s.total += n
+	s.pump()
+}
+
+// SetUnlimited turns the connection into an elephant.
+func (s *Sender) SetUnlimited(on bool) {
+	for _, e := range s.subs {
+		e.SetUnlimited(on)
+	}
+}
+
+// Acked returns connection-level acknowledged bytes (sum over
+// subflows).
+func (s *Sender) Acked() uint64 {
+	var t uint64
+	for _, e := range s.subs {
+		t += e.Acked()
+	}
+	return t
+}
+
+// Done reports whether every queued byte has been assigned and acked.
+func (s *Sender) Done() bool {
+	if s.pending > 0 {
+		return false
+	}
+	for _, e := range s.subs {
+		if !e.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// pump assigns pending bytes to subflows with open window, preferring
+// the subflow with the most free space (a min-RTT scheduler needs RTT
+// samples; free-window is the standard cold-start heuristic and
+// behaves like Linux's default once windows differentiate).
+func (s *Sender) pump() {
+	for s.pending > 0 {
+		best := -1
+		bestSpace := 0
+		for i, e := range s.subs {
+			space := int(e.Cwnd()) - e.Inflight() - e.Unsent()
+			if space > bestSpace {
+				best, bestSpace = i, space
+			}
+		}
+		if best < 0 {
+			// No window anywhere: leave the rest queued; subflow ACK
+			// callbacks re-pump. Push a minimal chunk onto subflow 0 if
+			// absolutely nothing is outstanding (deadlock guard for
+			// fresh connections).
+			idle := true
+			for _, e := range s.subs {
+				if e.Inflight() > 0 || e.Unsent() > 0 {
+					idle = false
+					break
+				}
+			}
+			if idle {
+				n := s.pending
+				if n > packet.MaxSegSize {
+					n = packet.MaxSegSize
+				}
+				s.subs[0].Write(n)
+				s.pending -= n
+				continue
+			}
+			return
+		}
+		n := s.pending
+		if n > bestSpace {
+			n = bestSpace
+		}
+		if n > packet.MaxSegSize {
+			n = packet.MaxSegSize
+		}
+		s.subs[best].Write(n)
+		s.pending -= n
+	}
+}
+
+// Receiver aggregates the receive side of an MPTCP connection.
+type Receiver struct {
+	subs []*tcp.Endpoint
+	// OnDelivered fires with connection-level delivered bytes.
+	OnDelivered func(total uint64)
+}
+
+// NewReceiver couples receiver-side endpoints.
+func NewReceiver(subs []*tcp.Endpoint) *Receiver {
+	r := &Receiver{subs: subs}
+	for _, e := range subs {
+		e.OnDelivered = func(uint64) {
+			if r.OnDelivered != nil {
+				r.OnDelivered(r.Delivered())
+			}
+		}
+	}
+	return r
+}
+
+// Delivered returns connection-level delivered bytes.
+func (r *Receiver) Delivered() uint64 {
+	var t uint64
+	for _, e := range r.subs {
+		t += e.Delivered()
+	}
+	return t
+}
+
+// Subflows returns the receiver-side endpoints.
+func (r *Receiver) Subflows() []*tcp.Endpoint { return r.subs }
+
+// coupled implements LIA coupling: the per-ACK increase of subflow i
+// is min(alpha/w_total, 1/w_i), with alpha chosen so the aggregate
+// matches a single TCP flow on the best path. Decrease stays
+// per-subflow.
+type coupled struct {
+	conn *Sender
+}
+
+// Name implements tcp.CongestionControl.
+func (c *coupled) Name() string { return "mptcp-coupled" }
+
+// OnAck implements tcp.CongestionControl.
+func (c *coupled) OnAck(e *tcp.Endpoint, acked int) float64 {
+	mss := float64(e.MSS())
+	totalW := 0.0
+	var num, den float64
+	for _, s := range c.conn.subs {
+		w := s.Cwnd()
+		totalW += w
+		rtt := s.SRTT().Seconds()
+		if rtt <= 0 {
+			rtt = 1e-3
+		}
+		r := w / mss / rtt
+		if v := (w / mss) / (rtt * rtt); v > num {
+			num = v
+		}
+		den += r
+	}
+	if den == 0 {
+		den = 1
+	}
+	alpha := totalW / mss * num / (den * den)
+	perByte := alpha / (totalW / mss)
+	if own := 1 / (e.Cwnd() / mss); own < perByte {
+		perByte = own
+	}
+	inc := mss * float64(acked) / mss * perByte // bytes
+	if inc > float64(acked) {
+		inc = float64(acked)
+	}
+	return e.Cwnd() + inc
+}
+
+// OnLoss implements tcp.CongestionControl: per-subflow halving.
+func (c *coupled) OnLoss(e *tcp.Endpoint) float64 { return e.Cwnd() / 2 }
+
+// OnTimeout implements tcp.CongestionControl.
+func (c *coupled) OnTimeout(e *tcp.Endpoint) {}

@@ -1,0 +1,178 @@
+package mptcp
+
+import (
+	"testing"
+
+	"presto/internal/packet"
+	"presto/internal/sim"
+	"presto/internal/tcp"
+)
+
+// rig wires n subflow endpoint pairs through an ideal link.
+type rig struct {
+	eng   *sim.Engine
+	delay sim.Time
+	send  []*tcp.Endpoint
+	recv  []*tcp.Endpoint
+	// drop, if set, filters segments (false = drop).
+	drop func(*packet.Segment) bool
+}
+
+type rigDown struct {
+	r    *rig
+	peer func() *tcp.Endpoint
+}
+
+func (d *rigDown) Send(seg *packet.Segment) {
+	if d.r.drop != nil && !d.r.drop(seg) {
+		return
+	}
+	d.r.eng.Schedule(d.r.delay, func() { d.peer().DeliverSegment(seg) })
+}
+
+func newRig(n int, delay sim.Time, cfg tcp.Config) *rig {
+	r := &rig{eng: sim.NewEngine(), delay: delay}
+	for i := 0; i < n; i++ {
+		i := i
+		f := packet.FlowKey{
+			Src: packet.Addr{Host: 1, Port: uint16(1000 + i)},
+			Dst: packet.Addr{Host: 2, Port: 5001},
+		}
+		r.send = append(r.send, tcp.New(r.eng, f, &rigDown{r: r, peer: func() *tcp.Endpoint { return r.recv[i] }}, cfg))
+		r.recv = append(r.recv, tcp.New(r.eng, f.Reverse(), &rigDown{r: r, peer: func() *tcp.Endpoint { return r.send[i] }}, cfg))
+	}
+	return r
+}
+
+func TestMPTCPTransferCompletes(t *testing.T) {
+	r := newRig(DefaultSubflows, 20*sim.Microsecond, tcp.Config{})
+	s := NewSender(r.eng, r.send)
+	rx := NewReceiver(r.recv)
+	const n = 2 << 20
+	s.Write(n)
+	r.eng.RunAll()
+	if rx.Delivered() != n {
+		t.Fatalf("delivered %d, want %d", rx.Delivered(), n)
+	}
+	if s.Acked() != n || !s.Done() {
+		t.Fatalf("acked %d done=%v", s.Acked(), s.Done())
+	}
+}
+
+func TestMPTCPUsesMultipleSubflows(t *testing.T) {
+	r := newRig(DefaultSubflows, 20*sim.Microsecond, tcp.Config{MaxCwnd: 128 << 10})
+	s := NewSender(r.eng, r.send)
+	NewReceiver(r.recv)
+	s.SetUnlimited(true)
+	r.eng.Run(2 * sim.Millisecond)
+	used := 0
+	for _, e := range r.send {
+		if e.Stats.BytesSent > 0 {
+			used++
+		}
+	}
+	if used != DefaultSubflows {
+		t.Fatalf("%d subflows carried data, want %d", used, DefaultSubflows)
+	}
+}
+
+func TestCoupledIncreaseIsBounded(t *testing.T) {
+	// Direct unit test of the LIA math: with 8 equal subflows in
+	// congestion avoidance, the per-ACK increase on one subflow must
+	// be well below what uncoupled Reno would give it, and the
+	// aggregate increase across all subflows must be on the order of
+	// a single flow's increase.
+	r := newRig(DefaultSubflows, 100*sim.Microsecond, tcp.Config{CC: "reno"})
+	s := NewSender(r.eng, r.send)
+	NewReceiver(r.recv)
+	cc := &coupled{conn: s}
+	mss := r.send[0].MSS()
+	for _, e := range r.send {
+		e.SetCwnd(float64(100 * mss))
+	}
+	acked := mss
+	e0 := r.send[0]
+	coupledInc := cc.OnAck(e0, acked) - e0.Cwnd()
+	renoInc := tcp.Reno{}.OnAck(e0, acked) - e0.Cwnd()
+	if coupledInc <= 0 {
+		t.Fatalf("coupled increase = %v, want positive", coupledInc)
+	}
+	// Equal windows and RTTs: LIA gives each subflow ~1/8 of Reno's
+	// increase, so the aggregate behaves like one flow.
+	if coupledInc > renoInc/4 {
+		t.Fatalf("coupled inc %v vs reno %v: not meaningfully coupled", coupledInc, renoInc)
+	}
+	if agg := coupledInc * DefaultSubflows; agg > 2*renoInc {
+		t.Fatalf("aggregate coupled increase %v exceeds 2x single-flow %v", agg, renoInc)
+	}
+	// Decrease stays per-subflow (halving).
+	if got := cc.OnLoss(e0); got != e0.Cwnd()/2 {
+		t.Fatalf("OnLoss = %v, want half of %v", got, e0.Cwnd())
+	}
+}
+
+func TestLossHalvesOnlyOneSubflow(t *testing.T) {
+	r := newRig(2, 50*sim.Microsecond, tcp.Config{MaxSeg: packet.MSS, CC: "reno", MaxCwnd: 512 << 10})
+	s := NewSender(r.eng, r.send)
+	NewReceiver(r.recv)
+	s.SetUnlimited(true)
+	r.eng.Run(8 * sim.Millisecond)
+	w0, w1 := r.send[0].Cwnd(), r.send[1].Cwnd()
+	// Drop a burst on subflow 0 only.
+	dropped := 0
+	r.drop = func(seg *packet.Segment) bool {
+		if seg.Flow == r.send[0].Flow() && seg.Len() > 0 && !seg.Retrans && dropped < 1 {
+			dropped++
+			return false
+		}
+		return true
+	}
+	r.eng.Run(11 * sim.Millisecond)
+	if r.send[0].Stats.Retransmits == 0 {
+		t.Fatal("subflow 0 never recovered a loss")
+	}
+	if r.send[0].Cwnd() >= w0 {
+		t.Fatalf("subflow 0 cwnd did not decrease: %v -> %v", w0, r.send[0].Cwnd())
+	}
+	if r.send[1].Cwnd() < w1 {
+		t.Fatalf("subflow 1 cwnd decreased on subflow 0's loss: %v -> %v", w1, r.send[1].Cwnd())
+	}
+}
+
+func TestMiceOverMPTCP(t *testing.T) {
+	// Small flows: the scheduler must not strand bytes.
+	r := newRig(DefaultSubflows, 20*sim.Microsecond, tcp.Config{})
+	s := NewSender(r.eng, r.send)
+	rx := NewReceiver(r.recv)
+	var doneAt sim.Time
+	rx.OnDelivered = func(total uint64) {
+		if total >= 50_000 && doneAt == 0 {
+			doneAt = r.eng.Now()
+		}
+	}
+	s.Write(50_000)
+	r.eng.RunAll()
+	if rx.Delivered() != 50_000 {
+		t.Fatalf("delivered %d", rx.Delivered())
+	}
+	if doneAt == 0 || doneAt > sim.Millisecond {
+		t.Fatalf("mouse FCT = %v", doneAt)
+	}
+}
+
+func TestSequentialWrites(t *testing.T) {
+	r := newRig(4, 10*sim.Microsecond, tcp.Config{})
+	s := NewSender(r.eng, r.send)
+	rx := NewReceiver(r.recv)
+	for i := 0; i < 10; i++ {
+		i := i
+		r.eng.At(sim.Time(i)*sim.Millisecond, func() { s.Write(10_000) })
+	}
+	r.eng.RunAll()
+	if rx.Delivered() != 100_000 {
+		t.Fatalf("delivered %d, want 100000", rx.Delivered())
+	}
+	if !s.Done() {
+		t.Fatal("sender not done")
+	}
+}

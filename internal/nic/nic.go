@@ -1,0 +1,322 @@
+// Package nic models the host network interface and driver receive
+// path: TSO segmentation on transmit (the mechanism that makes 64 KB
+// flowcells cheap, §2.1), and on receive an RX ring, interrupt
+// coalescing, and a CPU cost model hosting a GRO handler.
+//
+// The CPU model is what reproduces the paper's computational results:
+// processing a poll batch occupies the (single) receive core for
+//
+//	PerPoll + Σ(PerPacket+handler overhead) + PerByte·bytes + PerSegment·segments
+//
+// of simulated time, during which the ring keeps filling; sustained
+// overload overflows the ring and drops packets. The constants are
+// calibrated against §5: GRO disabled caps at ≈6 Gbps at 100% CPU;
+// official GRO at line rate costs ≈63%, Presto GRO ≈69% (+6%); under
+// reordering, official GRO's small-segment flood burns more CPU for
+// half the throughput.
+package nic
+
+import (
+	"presto/internal/fabric"
+	"presto/internal/gro"
+	"presto/internal/packet"
+	"presto/internal/sim"
+)
+
+// CPUConfig sets the receive-path cost model.
+type CPUConfig struct {
+	PerPoll    sim.Time // fixed cost of a poll event
+	PerPacket  sim.Time // driver + GRO merge work per packet
+	PerSegment sim.Time // stack traversal per segment pushed up
+	PerByteNs  float64  // ns of copy/checksum work per payload byte
+	// PerEviction is the extra cost of a merge-failure push (stock GRO
+	// ejecting a segment mid-merge: list churn, cold stack entry).
+	// This is the computational half of the small-segment-flooding
+	// collapse (§2.2) beyond the per-segment cost itself.
+	PerEviction sim.Time
+	// HandlerOverhead is extra per-packet work for the hosted GRO
+	// algorithm (Presto's multi-segment bookkeeping costs ~6% at line
+	// rate, Figure 6).
+	HandlerOverhead sim.Time
+}
+
+// DefaultCPUConfig returns constants calibrated to the paper's
+// measured operating points (see package comment).
+func DefaultCPUConfig() CPUConfig {
+	return CPUConfig{
+		PerPoll:     2 * sim.Microsecond,
+		PerPacket:   350 * sim.Nanosecond,
+		PerSegment:  1100 * sim.Nanosecond,
+		PerByteNs:   0.2,
+		PerEviction: 3000 * sim.Nanosecond,
+	}
+}
+
+// Config tunes a NIC.
+type Config struct {
+	RingSize      int      // RX descriptor ring, in packets
+	PollBudget    int      // max packets consumed per poll (NAPI budget)
+	CoalesceCount int      // interrupt after this many packets...
+	CoalesceDelay sim.Time // ...or this long after the first one
+	CPU           CPUConfig
+	// DisableCPUModel makes receive processing free and instantaneous
+	// (for microbenchmarks isolating protocol behaviour).
+	DisableCPUModel bool
+}
+
+// DefaultConfig returns 10 GbE-like settings.
+func DefaultConfig() Config {
+	return Config{
+		RingSize:      4096,
+		PollBudget:    64,
+		CoalesceCount: 32,
+		CoalesceDelay: 20 * sim.Microsecond,
+		CPU:           DefaultCPUConfig(),
+	}
+}
+
+func (c *Config) fill() {
+	d := DefaultConfig()
+	if c.RingSize == 0 {
+		c.RingSize = d.RingSize
+	}
+	if c.PollBudget == 0 {
+		c.PollBudget = d.PollBudget
+	}
+	if c.CoalesceCount == 0 {
+		c.CoalesceCount = d.CoalesceCount
+	}
+	if c.CoalesceDelay == 0 {
+		c.CoalesceDelay = d.CoalesceDelay
+	}
+	if c.CPU == (CPUConfig{}) {
+		c.CPU = d.CPU
+	}
+}
+
+// Stats counts NIC activity.
+type Stats struct {
+	TxSegments uint64 // TSO writes accepted
+	TxPackets  uint64 // MTU packets emitted
+	RxPackets  uint64 // packets accepted into the ring
+	RxDrops    uint64 // ring-overflow drops (receiver livelock)
+	Polls      uint64
+	BusyTime   sim.Time // accumulated CPU busy time
+}
+
+// NIC is one host's interface. It implements fabric.Handler on the
+// receive side.
+type NIC struct {
+	eng  *sim.Engine
+	net  *fabric.Network
+	host packet.HostID
+	cfg  Config
+
+	gro   gro.Handler
+	stage *stagingOutput
+
+	ring     []*packet.Packet
+	busy     bool
+	intTimer *sim.Timer
+	intArmed bool
+
+	Stats Stats
+}
+
+// stagingOutput buffers GRO output during a poll so delivery happens
+// when the batch's CPU cost has elapsed; outside a poll (GRO hold
+// timers) it forwards directly.
+type stagingOutput struct {
+	up      gro.Output
+	buf     []*packet.Segment
+	staging bool
+}
+
+func (s *stagingOutput) DeliverSegment(seg *packet.Segment) {
+	if s.staging {
+		s.buf = append(s.buf, seg)
+		return
+	}
+	s.up.DeliverSegment(seg)
+}
+
+// New creates a NIC for host h. makeGRO constructs the receive-offload
+// handler around the NIC's staging output, which forwards to up.
+func New(eng *sim.Engine, net *fabric.Network, h packet.HostID, up gro.Output, makeGRO func(out gro.Output) gro.Handler, cfg Config) *NIC {
+	cfg.fill()
+	n := &NIC{eng: eng, net: net, host: h, cfg: cfg}
+	n.stage = &stagingOutput{up: up}
+	n.gro = makeGRO(n.stage)
+	n.intTimer = sim.NewTimer(eng, n.interrupt)
+	return n
+}
+
+// GRO returns the hosted receive-offload handler.
+func (n *NIC) GRO() gro.Handler { return n.gro }
+
+// SendSegment performs TSO: split a ≤64 KB segment into MTU packets,
+// replicating the shadow MAC and flowcell ID onto each (exactly what
+// the NIC hardware does with header fields, §3.1), and inject them
+// onto the host's access link.
+func (n *NIC) SendSegment(seg *packet.Segment) {
+	n.Stats.TxSegments++
+	total := seg.Len()
+	if total == 0 {
+		// Pure ACK / control.
+		p := &packet.Packet{
+			SrcMAC: seg.SrcMAC, DstMAC: seg.DstMAC,
+			Flow: seg.Flow, Seq: seg.StartSeq, Ack: seg.Ack,
+			Flags: seg.Flags, Sack: seg.Sack,
+			FlowcellID: seg.FlowcellID, SentAt: seg.SentAt,
+			Retrans: seg.Retrans, Probe: seg.Probe,
+			EchoCE: seg.EchoCE, EchoTotal: seg.EchoTotal,
+		}
+		n.Stats.TxPackets++
+		n.net.SendFromHost(n.host, p)
+		return
+	}
+	mss := packet.MSS
+	for off := 0; off < total; off += mss {
+		l := total - off
+		if l > mss {
+			l = mss
+		}
+		p := &packet.Packet{
+			SrcMAC: seg.SrcMAC, DstMAC: seg.DstMAC,
+			Flow: seg.Flow, Seq: seg.StartSeq + uint32(off),
+			Ack: seg.Ack, Flags: seg.Flags &^ packet.FlagPSH, Payload: l,
+			FlowcellID: seg.FlowcellID, SentAt: seg.SentAt,
+			Retrans: seg.Retrans, Probe: seg.Probe,
+		}
+		if off+l == total {
+			p.Flags |= seg.Flags & packet.FlagPSH
+		}
+		n.Stats.TxPackets++
+		n.net.SendFromHost(n.host, p)
+	}
+}
+
+// HandlePacket implements fabric.Handler: packets arriving from the
+// wire enter the RX ring.
+func (n *NIC) HandlePacket(p *packet.Packet) {
+	if len(n.ring) >= n.cfg.RingSize {
+		// Receiver livelock: the CPU can't drain the ring fast enough.
+		n.Stats.RxDrops++
+		return
+	}
+	n.ring = append(n.ring, p)
+	n.Stats.RxPackets++
+	if n.cfg.DisableCPUModel {
+		if !n.busy {
+			n.busy = true
+			// Drain synchronously but still batch per event loop turn.
+			n.eng.Schedule(0, n.pollFree)
+		}
+		return
+	}
+	if n.busy || n.intArmed {
+		if n.intArmed && len(n.ring) >= n.cfg.CoalesceCount {
+			n.intTimer.Stop()
+			n.intArmed = false
+			n.interrupt()
+		}
+		return
+	}
+	// Idle: arm the coalescing timer (or fire now if a burst landed).
+	if len(n.ring) >= n.cfg.CoalesceCount {
+		n.interrupt()
+		return
+	}
+	n.intArmed = true
+	n.intTimer.Reset(n.cfg.CoalesceDelay)
+}
+
+// pollFree is the no-CPU-model drain path.
+func (n *NIC) pollFree() {
+	for len(n.ring) > 0 {
+		batch := n.ring
+		n.ring = nil
+		n.Stats.Polls++
+		for _, p := range batch {
+			n.gro.Receive(p)
+		}
+		n.gro.Flush()
+	}
+	n.busy = false
+}
+
+// interrupt starts a poll if the CPU is free.
+func (n *NIC) interrupt() {
+	n.intArmed = false
+	if n.busy || len(n.ring) == 0 {
+		return
+	}
+	n.poll()
+}
+
+// poll consumes up to PollBudget packets, runs GRO over them, and
+// occupies the CPU for the batch's modeled cost; the GRO output is
+// delivered when the cost has elapsed. If the ring is non-empty at
+// completion, polling continues immediately (NAPI-style).
+func (n *NIC) poll() {
+	budget := n.cfg.PollBudget
+	if budget > len(n.ring) {
+		budget = len(n.ring)
+	}
+	batch := n.ring[:budget]
+	n.ring = append([]*packet.Packet(nil), n.ring[budget:]...)
+	n.Stats.Polls++
+	n.busy = true
+
+	st := n.gro.Stats()
+	segsBefore := st.SegmentsOut + st.ControlOut
+	evBefore := st.Evictions
+	bytes := 0
+	n.stage.staging = true
+	for _, p := range batch {
+		bytes += p.Payload
+		n.gro.Receive(p)
+	}
+	n.gro.Flush()
+	n.stage.staging = false
+	segs := (st.SegmentsOut + st.ControlOut) - segsBefore
+	evictions := st.Evictions - evBefore
+
+	c := n.cfg.CPU
+	cost := c.PerPoll +
+		sim.Time(len(batch))*(c.PerPacket+c.HandlerOverhead) +
+		sim.Time(segs)*c.PerSegment +
+		sim.Time(evictions)*c.PerEviction +
+		sim.Time(float64(bytes)*c.PerByteNs)
+	n.Stats.BusyTime += cost
+
+	staged := n.stage.buf
+	n.stage.buf = nil
+	n.eng.Schedule(cost, func() {
+		for _, seg := range staged {
+			n.stage.up.DeliverSegment(seg)
+		}
+		n.busy = false
+		// NAPI-style continuation: stay in polling mode only while the
+		// backlog justifies it; otherwise return to interrupt
+		// coalescing so batches stay large and the per-poll cost
+		// amortizes.
+		if len(n.ring) >= n.cfg.CoalesceCount {
+			n.poll()
+		} else if len(n.ring) > 0 && !n.intArmed {
+			n.intArmed = true
+			n.intTimer.Reset(n.cfg.CoalesceDelay)
+		}
+	})
+}
+
+// Utilization returns the fraction of the window [since, now] the
+// receive CPU was busy, given the busy time recorded at the window
+// start.
+func (n *NIC) Utilization(busyAtStart, windowStart sim.Time) float64 {
+	elapsed := n.eng.Now() - windowStart
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.Stats.BusyTime-busyAtStart) / float64(elapsed)
+}

@@ -1,0 +1,35 @@
+package packet_test
+
+import (
+	"fmt"
+
+	"presto/internal/packet"
+)
+
+func ExampleShadowMAC() {
+	label := packet.ShadowMAC(12, 3) // host 12 via spanning tree 3
+	fmt.Println(label, label.IsShadow(), label.ShadowTree(), label.Host())
+	// Output: 0a:03:00:00:00:0c true 3 12
+}
+
+func ExampleMarshal() {
+	p := &packet.Packet{
+		SrcMAC:     packet.HostMAC(1),
+		DstMAC:     packet.ShadowMAC(2, 0),
+		Flow:       packet.FlowKey{Src: packet.Addr{Host: 1, Port: 4000}, Dst: packet.Addr{Host: 2, Port: 5001}},
+		Seq:        1,
+		Flags:      packet.FlagACK,
+		Payload:    1000,
+		FlowcellID: 7,
+	}
+	frame := packet.Marshal(p)
+	q, _ := packet.Unmarshal(frame)
+	fmt.Println(len(frame), q.FlowcellID, q.Flow)
+	// Output: 1062 7 h1:4000->h2:5001
+}
+
+func ExampleSeqLT() {
+	top := ^uint32(0)
+	fmt.Println(packet.SeqLT(top-1, 2), packet.SeqDiff(2, top-1))
+	// Output: true 4
+}

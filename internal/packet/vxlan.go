@@ -1,0 +1,135 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// VXLAN encapsulation, per the paper's network-virtualization
+// discussion (§3.1): tenant traffic is wrapped in an outer
+// Ethernet/IPv4/UDP/VXLAN header; the shadow-MAC label rides the
+// *outer* destination MAC so path selection works unchanged, and the
+// flowcell ID can ride the VXLAN header's reserved bits (the
+// draft-chen-nvo3 scheme the paper cites [26]).
+
+// VXLANPort is the IANA-assigned UDP port.
+const VXLANPort = 4789
+
+const (
+	udpHeaderLen   = 8
+	vxlanHeaderLen = 8
+	vxlanFlagVNI   = 0x08
+	// OuterOverhead is the total encapsulation overhead.
+	OuterOverhead = EthHeaderLen + IPHeaderLen + udpHeaderLen + vxlanHeaderLen
+)
+
+// Errors for VXLAN decapsulation.
+var (
+	ErrNotVXLAN = errors.New("packet: not a VXLAN frame")
+)
+
+// VXLAN is a decoded encapsulation.
+type VXLAN struct {
+	// Outer Ethernet: OuterDst carries the shadow-MAC label in a
+	// Presto deployment.
+	OuterSrc, OuterDst MAC
+	// Outer IP endpoints (the VTEPs).
+	OuterSrcHost, OuterDstHost HostID
+	// VNI is the 24-bit virtual network identifier.
+	VNI uint32
+	// FlowcellID stashed in the reserved bits (16 bits in the first
+	// reserved field + 8 in the trailing reserved byte).
+	FlowcellID uint32
+	// Inner is the tenant frame.
+	Inner *Packet
+}
+
+// MarshalVXLAN serializes the encapsulation around the inner packet's
+// canonical wire form.
+func MarshalVXLAN(v *VXLAN) []byte {
+	inner := Marshal(v.Inner)
+	buf := make([]byte, OuterOverhead+len(inner))
+
+	// Outer Ethernet.
+	copy(buf[0:6], v.OuterDst[:])
+	copy(buf[6:12], v.OuterSrc[:])
+	binary.BigEndian.PutUint16(buf[12:14], etherTypeIPv4)
+
+	// Outer IPv4 (UDP).
+	ip := buf[EthHeaderLen:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPHeaderLen+udpHeaderLen+vxlanHeaderLen+len(inner)))
+	ip[8] = 64
+	ip[9] = 17 // UDP
+	src, dst := hostIP(v.OuterSrcHost), hostIP(v.OuterDstHost)
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:IPHeaderLen]))
+
+	// UDP: the source port carries an entropy hash in real
+	// deployments; here we derive it from the inner flow so per-hop
+	// ECMP on the outer 5-tuple still sees flow affinity.
+	udp := ip[IPHeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:2], uint16(0xC000|(v.Inner.Flow.Hash()&0x3FFF)))
+	binary.BigEndian.PutUint16(udp[2:4], VXLANPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpHeaderLen+vxlanHeaderLen+len(inner)))
+	// UDP checksum optional over IPv4 for VXLAN: leave zero, as most
+	// deployments do.
+
+	// VXLAN header: flags(1) reserved(3) vni(3) reserved(1); the
+	// reserved fields carry the flowcell ID (24 bits: 16+8).
+	vx := udp[udpHeaderLen:]
+	vx[0] = vxlanFlagVNI
+	binary.BigEndian.PutUint16(vx[1:3], uint16(v.FlowcellID>>8))
+	vx[3] = 0
+	vx[4] = byte(v.VNI >> 16)
+	vx[5] = byte(v.VNI >> 8)
+	vx[6] = byte(v.VNI)
+	vx[7] = byte(v.FlowcellID)
+
+	copy(vx[vxlanHeaderLen:], inner)
+	return buf
+}
+
+// UnmarshalVXLAN parses an encapsulated frame.
+func UnmarshalVXLAN(buf []byte) (*VXLAN, error) {
+	if len(buf) < OuterOverhead {
+		return nil, ErrTruncated
+	}
+	v := &VXLAN{}
+	copy(v.OuterDst[:], buf[0:6])
+	copy(v.OuterSrc[:], buf[6:12])
+	if binary.BigEndian.Uint16(buf[12:14]) != etherTypeIPv4 {
+		return nil, ErrNotVXLAN
+	}
+	ip := buf[EthHeaderLen:]
+	if ip[0]>>4 != 4 || ip[9] != 17 {
+		return nil, ErrNotVXLAN
+	}
+	if ipChecksum(ip[:IPHeaderLen]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	var sip, dip [4]byte
+	copy(sip[:], ip[12:16])
+	copy(dip[:], ip[16:20])
+	v.OuterSrcHost = ipHost(sip)
+	v.OuterDstHost = ipHost(dip)
+
+	udp := ip[IPHeaderLen:]
+	if binary.BigEndian.Uint16(udp[2:4]) != VXLANPort {
+		return nil, ErrNotVXLAN
+	}
+	vx := udp[udpHeaderLen:]
+	if vx[0]&vxlanFlagVNI == 0 {
+		return nil, ErrNotVXLAN
+	}
+	v.VNI = uint32(vx[4])<<16 | uint32(vx[5])<<8 | uint32(vx[6])
+	v.FlowcellID = uint32(binary.BigEndian.Uint16(vx[1:3]))<<8 | uint32(vx[7])
+
+	inner, err := Unmarshal(vx[vxlanHeaderLen:])
+	if err != nil {
+		return nil, err
+	}
+	v.Inner = inner
+	return v, nil
+}

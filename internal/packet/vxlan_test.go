@@ -1,0 +1,122 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleVXLAN() *VXLAN {
+	return &VXLAN{
+		OuterSrc:     HostMAC(1),
+		OuterDst:     ShadowMAC(7, 3), // label on the outer header
+		OuterSrcHost: 1,
+		OuterDstHost: 7,
+		VNI:          0xABCDE,
+		FlowcellID:   0x123456,
+		Inner:        samplePacket(),
+	}
+}
+
+func TestVXLANRoundTrip(t *testing.T) {
+	v := sampleVXLAN()
+	buf := MarshalVXLAN(v)
+	got, err := UnmarshalVXLAN(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OuterSrc != v.OuterSrc || got.OuterDst != v.OuterDst ||
+		got.OuterSrcHost != v.OuterSrcHost || got.OuterDstHost != v.OuterDstHost {
+		t.Fatalf("outer mismatch: %+v", got)
+	}
+	if got.VNI != v.VNI {
+		t.Fatalf("VNI = %x, want %x", got.VNI, v.VNI)
+	}
+	if got.FlowcellID != v.FlowcellID {
+		t.Fatalf("flowcell = %x, want %x", got.FlowcellID, v.FlowcellID)
+	}
+	in := got.Inner
+	if in.Flow != v.Inner.Flow || in.Seq != v.Inner.Seq || in.Payload != v.Inner.Payload {
+		t.Fatalf("inner mismatch: %+v", in)
+	}
+	// The label rides the OUTER header; the inner frame keeps real
+	// MACs (the paper's virtualization-compat argument).
+	if !got.OuterDst.IsShadow() {
+		t.Fatal("outer label lost")
+	}
+}
+
+func TestVXLANOverheadConstant(t *testing.T) {
+	v := sampleVXLAN()
+	inner := Marshal(v.Inner)
+	outer := MarshalVXLAN(v)
+	if len(outer)-len(inner) != OuterOverhead {
+		t.Fatalf("overhead = %d, want %d", len(outer)-len(inner), OuterOverhead)
+	}
+	// 50 bytes: the standard VXLAN encapsulation cost.
+	if OuterOverhead != 50 {
+		t.Fatalf("OuterOverhead = %d, want 50", OuterOverhead)
+	}
+}
+
+func TestVXLANRejectsNonVXLAN(t *testing.T) {
+	// A plain TCP frame is not VXLAN.
+	if _, err := UnmarshalVXLAN(Marshal(samplePacket())); err == nil {
+		t.Fatal("plain frame accepted as VXLAN")
+	}
+	// Truncation.
+	buf := MarshalVXLAN(sampleVXLAN())
+	if _, err := UnmarshalVXLAN(buf[:30]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Corrupt outer IP.
+	buf2 := MarshalVXLAN(sampleVXLAN())
+	buf2[EthHeaderLen+8] ^= 1
+	if _, err := UnmarshalVXLAN(buf2); err != ErrBadChecksum {
+		t.Fatalf("corrupt outer accepted: %v", err)
+	}
+}
+
+func TestVXLANEntropySourcePort(t *testing.T) {
+	a, b := sampleVXLAN(), sampleVXLAN()
+	b.Inner = samplePacket()
+	b.Inner.Flow.Src.Port = 12345
+	fa := MarshalVXLAN(a)
+	fb := MarshalVXLAN(b)
+	spA := uint16(fa[EthHeaderLen+IPHeaderLen])<<8 | uint16(fa[EthHeaderLen+IPHeaderLen+1])
+	spB := uint16(fb[EthHeaderLen+IPHeaderLen])<<8 | uint16(fb[EthHeaderLen+IPHeaderLen+1])
+	if spA == spB {
+		t.Fatal("different inner flows produced the same outer entropy port")
+	}
+}
+
+// Property: VXLAN round trip preserves VNI, flowcell ID, and the inner
+// packet for arbitrary values.
+func TestVXLANRoundTripProperty(t *testing.T) {
+	prop := func(vni, fc uint32, seq uint32, payload uint16) bool {
+		v := &VXLAN{
+			OuterSrc:     HostMAC(2),
+			OuterDst:     ShadowMAC(5, 1),
+			OuterSrcHost: 2,
+			OuterDstHost: 5,
+			VNI:          vni & 0xFFFFFF,
+			FlowcellID:   fc & 0xFFFFFF,
+			Inner: &Packet{
+				SrcMAC:  HostMAC(2),
+				DstMAC:  HostMAC(5),
+				Flow:    FlowKey{Src: Addr{2, 100}, Dst: Addr{5, 200}},
+				Seq:     seq,
+				Flags:   FlagACK,
+				Payload: int(payload) % (MSS + 1),
+			},
+		}
+		got, err := UnmarshalVXLAN(MarshalVXLAN(v))
+		if err != nil {
+			return false
+		}
+		return got.VNI == v.VNI && got.FlowcellID == v.FlowcellID &&
+			got.Inner.Seq == seq && got.Inner.Payload == v.Inner.Payload
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire codec: Ethernet II + IPv4 + TCP with the flowcell ID carried in
+// an experimental TCP option (kind 253), exactly the encoding strategy
+// the paper's implementation uses. The simulator's hot path moves
+// Packet structs, but this codec is the canonical on-the-wire form: it
+// is exercised by the vSwitch encapsulation tests, the trace dumper,
+// and anything that wants pcap-style bytes.
+
+const (
+	etherTypeIPv4 = 0x0800
+	protoTCP      = 6
+
+	optKindEnd      = 0
+	optKindNop      = 1
+	optKindSack     = 5
+	optKindFlowcell = 253 // RFC 4727 experimental option
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrNotIPv4     = errors.New("packet: not IPv4")
+	ErrNotTCP      = errors.New("packet: not TCP")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+)
+
+// hostIP maps a HostID into 10.0.0.0/8.
+func hostIP(h HostID) [4]byte {
+	return [4]byte{10, byte(h >> 16), byte(h >> 8), byte(h)}
+}
+
+func ipHost(ip [4]byte) HostID {
+	return HostID(uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3]))
+}
+
+// Marshal serializes p into wire bytes (Ethernet frame without FCS).
+// The payload is emitted as p.Payload zero bytes: the simulator tracks
+// lengths, not application data.
+func Marshal(p *Packet) []byte {
+	// TCP options: flowcell option always present, SACK if any.
+	optLen := FlowcellOptLen
+	if n := len(p.Sack); n > 0 {
+		optLen += 2 + 8*n
+		optLen = (optLen + 3) &^ 3 // pad to 32-bit boundary
+	}
+	tcpLen := TCPHeaderLen + optLen // base 20 + options
+	ipTotal := IPHeaderLen + tcpLen + p.Payload
+	buf := make([]byte, EthHeaderLen+ipTotal)
+
+	// Ethernet.
+	copy(buf[0:6], p.DstMAC[:])
+	copy(buf[6:12], p.SrcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], etherTypeIPv4)
+
+	// IPv4.
+	ip := buf[EthHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipTotal))
+	ip[8] = 64 // TTL
+	ip[9] = protoTCP
+	src, dst := hostIP(p.Flow.Src.Host), hostIP(p.Flow.Dst.Host)
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:IPHeaderLen]))
+
+	// TCP.
+	tcp := ip[IPHeaderLen:]
+	binary.BigEndian.PutUint16(tcp[0:2], p.Flow.Src.Port)
+	binary.BigEndian.PutUint16(tcp[2:4], p.Flow.Dst.Port)
+	binary.BigEndian.PutUint32(tcp[4:8], p.Seq)
+	binary.BigEndian.PutUint32(tcp[8:12], p.Ack)
+	dataOff := (20 + optLen) / 4
+	tcp[12] = byte(dataOff << 4)
+	tcp[13] = tcpFlagByte(p.Flags)
+	binary.BigEndian.PutUint16(tcp[14:16], 0xffff) // advertised window (scaled elsewhere)
+
+	// Options.
+	opt := tcp[20:]
+	opt[0] = optKindFlowcell
+	opt[1] = FlowcellOptLen
+	// two bytes of padding inside the option keep it 32-bit aligned
+	binary.BigEndian.PutUint32(opt[4:8], p.FlowcellID)
+	opt = opt[FlowcellOptLen:]
+	if n := len(p.Sack); n > 0 {
+		opt[0] = optKindSack
+		opt[1] = byte(2 + 8*n)
+		o := opt[2:]
+		for _, b := range p.Sack {
+			binary.BigEndian.PutUint32(o[0:4], b.Start)
+			binary.BigEndian.PutUint32(o[4:8], b.End)
+			o = o[8:]
+		}
+		// Remaining bytes up to the padded boundary are already zero
+		// (optKindEnd).
+	}
+	binary.BigEndian.PutUint16(tcp[16:18], tcpChecksum(src, dst, tcp[:tcpLen+p.Payload]))
+	return buf
+}
+
+// Unmarshal parses wire bytes produced by Marshal (or compatible) back
+// into a Packet. Checksum failures are reported but parsing continues
+// only for valid structure.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < EthHeaderLen+IPHeaderLen+TCPHeaderLen {
+		return nil, ErrTruncated
+	}
+	p := &Packet{}
+	copy(p.DstMAC[:], buf[0:6])
+	copy(p.SrcMAC[:], buf[6:12])
+	if binary.BigEndian.Uint16(buf[12:14]) != etherTypeIPv4 {
+		return nil, ErrNotIPv4
+	}
+	ip := buf[EthHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return nil, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0xf) * 4
+	if ihl < IPHeaderLen || len(ip) < ihl {
+		return nil, ErrTruncated
+	}
+	if ipChecksum(ip[:ihl]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	if ip[9] != protoTCP {
+		return nil, ErrNotTCP
+	}
+	total := int(binary.BigEndian.Uint16(ip[2:4]))
+	if len(ip) < total {
+		return nil, ErrTruncated
+	}
+	var sip, dip [4]byte
+	copy(sip[:], ip[12:16])
+	copy(dip[:], ip[16:20])
+	p.Flow.Src.Host = ipHost(sip)
+	p.Flow.Dst.Host = ipHost(dip)
+
+	tcp := ip[ihl:total]
+	if len(tcp) < 20 {
+		return nil, ErrTruncated
+	}
+	p.Flow.Src.Port = binary.BigEndian.Uint16(tcp[0:2])
+	p.Flow.Dst.Port = binary.BigEndian.Uint16(tcp[2:4])
+	p.Seq = binary.BigEndian.Uint32(tcp[4:8])
+	p.Ack = binary.BigEndian.Uint32(tcp[8:12])
+	dataOff := int(tcp[12]>>4) * 4
+	if dataOff < 20 || len(tcp) < dataOff {
+		return nil, ErrTruncated
+	}
+	p.Flags = tcpFlagsFromByte(tcp[13])
+	p.Payload = len(tcp) - dataOff
+
+	// Parse options.
+	opt := tcp[20:dataOff]
+	for len(opt) > 0 {
+		switch opt[0] {
+		case optKindEnd:
+			opt = nil
+		case optKindNop:
+			opt = opt[1:]
+		default:
+			if len(opt) < 2 || int(opt[1]) < 2 || len(opt) < int(opt[1]) {
+				return nil, fmt.Errorf("packet: malformed option kind %d", opt[0])
+			}
+			body := opt[:opt[1]]
+			switch opt[0] {
+			case optKindFlowcell:
+				if len(body) == FlowcellOptLen {
+					p.FlowcellID = binary.BigEndian.Uint32(body[4:8])
+				}
+			case optKindSack:
+				for o := body[2:]; len(o) >= 8; o = o[8:] {
+					p.Sack = append(p.Sack, SackBlock{
+						Start: binary.BigEndian.Uint32(o[0:4]),
+						End:   binary.BigEndian.Uint32(o[4:8]),
+					})
+				}
+			}
+			opt = opt[opt[1]:]
+		}
+	}
+	if tcpChecksum(sip, dip, tcp) != 0 {
+		return nil, ErrBadChecksum
+	}
+	return p, nil
+}
+
+func tcpFlagByte(f Flags) byte {
+	var b byte
+	if f.Has(FlagFIN) {
+		b |= 0x01
+	}
+	if f.Has(FlagSYN) {
+		b |= 0x02
+	}
+	if f.Has(FlagRST) {
+		b |= 0x04
+	}
+	if f.Has(FlagPSH) {
+		b |= 0x08
+	}
+	if f.Has(FlagACK) {
+		b |= 0x10
+	}
+	return b
+}
+
+func tcpFlagsFromByte(b byte) Flags {
+	var f Flags
+	if b&0x01 != 0 {
+		f |= FlagFIN
+	}
+	if b&0x02 != 0 {
+		f |= FlagSYN
+	}
+	if b&0x04 != 0 {
+		f |= FlagRST
+	}
+	if b&0x08 != 0 {
+		f |= FlagPSH
+	}
+	if b&0x10 != 0 {
+		f |= FlagACK
+	}
+	return f
+}
+
+// ipChecksum computes the Internet checksum over hdr. Computing it over
+// a header whose checksum field holds the correct value yields 0.
+func ipChecksum(hdr []byte) uint16 {
+	return onesComplement(sum16(hdr, 0))
+}
+
+// tcpChecksum computes the TCP checksum including the IPv4
+// pseudo-header. Computing it over a segment whose checksum field holds
+// the correct value yields 0.
+func tcpChecksum(src, dst [4]byte, tcp []byte) uint16 {
+	var s uint32
+	s = sum16(src[:], s)
+	s = sum16(dst[:], s)
+	s += protoTCP
+	s += uint32(len(tcp))
+	s = sum16(tcp, s)
+	return onesComplement(s)
+}
+
+func sum16(b []byte, acc uint32) uint32 {
+	for len(b) >= 2 {
+		acc += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		acc += uint32(b[0]) << 8
+	}
+	return acc
+}
+
+func onesComplement(s uint32) uint16 {
+	for s>>16 != 0 {
+		s = (s & 0xffff) + (s >> 16)
+	}
+	return ^uint16(s)
+}

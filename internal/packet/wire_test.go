@@ -1,0 +1,114 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		SrcMAC:     HostMAC(3),
+		DstMAC:     ShadowMAC(7, 2),
+		Flow:       FlowKey{Src: Addr{3, 40000}, Dst: Addr{7, 5001}},
+		Seq:        123456789,
+		Ack:        987654321,
+		Flags:      FlagACK | FlagPSH,
+		Payload:    1000,
+		FlowcellID: 42,
+		Sack:       []SackBlock{{100, 200}, {300, 400}},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	p := samplePacket()
+	buf := Marshal(p)
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if q.Flow != p.Flow || q.Seq != p.Seq || q.Ack != p.Ack || q.Flags != p.Flags ||
+		q.Payload != p.Payload || q.FlowcellID != p.FlowcellID ||
+		q.SrcMAC != p.SrcMAC || q.DstMAC != p.DstMAC {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", p, q)
+	}
+	if len(q.Sack) != 2 || q.Sack[0] != p.Sack[0] || q.Sack[1] != p.Sack[1] {
+		t.Fatalf("SACK round trip mismatch: %v", q.Sack)
+	}
+}
+
+func TestWireRoundTripNoSack(t *testing.T) {
+	p := samplePacket()
+	p.Sack = nil
+	q, err := Unmarshal(Marshal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Sack) != 0 || q.FlowcellID != 42 {
+		t.Fatalf("no-SACK round trip: %+v", q)
+	}
+}
+
+func TestWireChecksumDetectsCorruption(t *testing.T) {
+	buf := Marshal(samplePacket())
+	// Corrupt a TCP header byte (the seq field).
+	buf[EthHeaderLen+IPHeaderLen+5] ^= 0xff
+	if _, err := Unmarshal(buf); err != ErrBadChecksum {
+		t.Fatalf("corrupted TCP accepted: err=%v", err)
+	}
+	// Corrupt the IP header.
+	buf2 := Marshal(samplePacket())
+	buf2[EthHeaderLen+8] ^= 0x01 // TTL
+	if _, err := Unmarshal(buf2); err != ErrBadChecksum {
+		t.Fatalf("corrupted IP accepted: err=%v", err)
+	}
+}
+
+func TestWireTruncated(t *testing.T) {
+	buf := Marshal(samplePacket())
+	for _, n := range []int{0, 10, EthHeaderLen, EthHeaderLen + 10, EthHeaderLen + IPHeaderLen + 5} {
+		if _, err := Unmarshal(buf[:n]); err == nil {
+			t.Errorf("Unmarshal accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestWireNotIPv4(t *testing.T) {
+	buf := Marshal(samplePacket())
+	buf[12], buf[13] = 0x86, 0xdd // EtherType IPv6
+	if _, err := Unmarshal(buf); err != ErrNotIPv4 {
+		t.Fatalf("err = %v, want ErrNotIPv4", err)
+	}
+}
+
+// Property: Marshal/Unmarshal is the identity on wire-visible fields.
+func TestWireRoundTripProperty(t *testing.T) {
+	prop := func(srcHost, dstHost uint16, sport, dport uint16, seq, ack, fc uint32, payload uint16, flagBits uint8) bool {
+		p := &Packet{
+			SrcMAC:     HostMAC(HostID(srcHost)),
+			DstMAC:     HostMAC(HostID(dstHost)),
+			Flow:       FlowKey{Src: Addr{HostID(srcHost), sport}, Dst: Addr{HostID(dstHost), dport}},
+			Seq:        seq,
+			Ack:        ack,
+			Flags:      Flags(flagBits) & (FlagSYN | FlagACK | FlagFIN | FlagRST | FlagPSH),
+			Payload:    int(payload) % (MSS + 1),
+			FlowcellID: fc,
+		}
+		q, err := Unmarshal(Marshal(p))
+		if err != nil {
+			return false
+		}
+		return q.Flow == p.Flow && q.Seq == p.Seq && q.Ack == p.Ack &&
+			q.Flags == p.Flags && q.Payload == p.Payload && q.FlowcellID == p.FlowcellID
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPChecksumSelfVerifies(t *testing.T) {
+	buf := Marshal(samplePacket())
+	ip := buf[EthHeaderLen : EthHeaderLen+IPHeaderLen]
+	if ipChecksum(ip) != 0 {
+		t.Fatal("IP checksum over valid header should be 0")
+	}
+}

@@ -1,0 +1,245 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with nanosecond resolution. It is the substrate every other package in
+// this repository runs on: links, switches, NICs, GRO timers, and TCP
+// retransmission timers are all events scheduled on a single Engine.
+//
+// Determinism: events that fire at the same instant are executed in the
+// order they were scheduled (FIFO tie-break on a monotonically increasing
+// sequence number), and all randomness must come from an RNG derived from
+// the engine's seed. Two runs with the same seed produce identical
+// results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, expressed in Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the time as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds returns the time as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", t.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+
+	index    int // heap index; -1 once popped or canceled
+	canceled bool
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be canceled. The zero
+// EventID is invalid and safe to Cancel (a no-op).
+type EventID struct{ ev *event }
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	running bool
+	stopped bool
+
+	// Executed counts events that have run, as a cheap progress/liveness
+	// measure for tests and benchmarks.
+	Executed uint64
+}
+
+// NewEngine returns an Engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay. A negative delay is treated as zero
+// (the event fires at the current instant, after already-queued events
+// for that instant).
+func (e *Engine) Schedule(delay Time, fn func()) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute time t. If t is in the past, the event
+// fires at the current instant.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired, was already canceled, or is the zero EventID is a no-op.
+// It reports whether the event was actually canceled.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes Run return after the currently executing event completes.
+// Safe to call from inside an event callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the clock would pass until. Events scheduled exactly at
+// until still run. It returns the time of the last executed event (or
+// the current time if nothing ran).
+func (e *Engine) Run(until Time) Time {
+	e.run(until)
+	if e.now < until && len(e.queue) == 0 && !e.stopped {
+		// Queue drained before the horizon: advance the clock so callers
+		// measuring elapsed time get the full window.
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains or Stop is called, and
+// returns the time of the last executed event. Unlike Run, it does not
+// advance the clock past the last event.
+func (e *Engine) RunAll() Time {
+	const forever = Time(1<<62 - 1)
+	e.run(forever)
+	return e.now
+}
+
+func (e *Engine) run(until Time) {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+}
+
+// Timer is a restartable one-shot timer bound to an Engine, analogous to
+// time.Timer but in simulated time. The zero value is unusable; create
+// with NewTimer.
+type Timer struct {
+	e  *Engine
+	id EventID
+	fn func()
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func NewTimer(e *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil fn")
+	}
+	return &Timer{e: e, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after delay, canceling any pending
+// expiration.
+func (t *Timer) Reset(delay Time) {
+	t.e.Cancel(t.id)
+	t.id = t.e.Schedule(delay, t.fire)
+}
+
+// Stop disarms the timer. It reports whether a pending expiration was
+// canceled.
+func (t *Timer) Stop() bool {
+	ok := t.e.Cancel(t.id)
+	t.id = EventID{}
+	return ok
+}
+
+// Armed reports whether the timer has a pending expiration.
+func (t *Timer) Armed() bool {
+	return t.id.ev != nil && !t.id.ev.canceled && t.id.ev.index >= 0
+}
+
+func (t *Timer) fire() {
+	t.id = EventID{}
+	t.fn()
+}

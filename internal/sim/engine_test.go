@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Time{5 * Microsecond, Microsecond, 3 * Microsecond, 2 * Microsecond} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	e.RunAll()
+	want := []Time{Microsecond, 2 * Microsecond, 3 * Microsecond, 5 * Microsecond}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Millisecond, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Second, func() {
+		fired := false
+		e.Schedule(-5*Second, func() { fired = true })
+		e2at := e.Now()
+		_ = e2at
+		_ = fired
+	})
+	// Schedule an event in the past via At from inside a callback.
+	var at Time = -1
+	e.Schedule(2*Second, func() {
+		e.At(Second, func() { at = e.Now() }) // 1s is already in the past
+	})
+	e.RunAll()
+	if at != 2*Second {
+		t.Errorf("past event fired at %v, want clamped to 2s", at)
+	}
+}
+
+func TestEngineRunHonorsHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(Second, func() { ran++ })
+	e.Schedule(3*Second, func() { ran++ })
+	e.Run(2 * Second)
+	if ran != 1 {
+		t.Fatalf("ran %d events before horizon, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunAll()
+	if ran != 2 {
+		t.Fatalf("ran %d events total, want 2", ran)
+	}
+}
+
+func TestEngineRunAdvancesClockToHorizonWhenDrained(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Millisecond, func() {})
+	e.Run(Second)
+	if e.Now() != Second {
+		t.Fatalf("Now() = %v after drain, want 1s", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.Schedule(Second, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double Cancel returned true")
+	}
+	if e.Cancel(EventID{}) {
+		t.Fatal("Cancel of zero EventID returned true")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestEngineStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(Second, func() { ran++; e.Stop() })
+	e.Schedule(2*Second, func() { ran++ })
+	e.RunAll()
+	if ran != 1 {
+		t.Fatalf("ran %d, want 1 (Stop should halt the loop)", ran)
+	}
+}
+
+func TestEngineSelfScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(Microsecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	end := e.RunAll()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if end != 99*Microsecond {
+		t.Fatalf("end time = %v, want 99us", end)
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	tm := NewTimer(e, func() { fires++ })
+	tm.Reset(Second)
+	tm.Reset(2 * Second) // supersedes the first arming
+	if !tm.Armed() {
+		t.Fatal("timer should be armed")
+	}
+	e.RunAll()
+	if fires != 1 {
+		t.Fatalf("timer fired %d times, want 1", fires)
+	}
+	if e.Now() != 2*Second {
+		t.Fatalf("fired at %v, want 2s", e.Now())
+	}
+	tm.Reset(Second)
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for armed timer")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop of disarmed timer returned true")
+	}
+	e.RunAll()
+	if fires != 1 {
+		t.Fatalf("stopped timer fired; fires = %d", fires)
+	}
+}
+
+// Property: for any set of delays, events execute in sorted order of
+// their absolute firing times.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Time(d)*Microsecond, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine clock never moves backwards regardless of the
+// interleaving of scheduling and cancellation.
+func TestEngineMonotonicClockProperty(t *testing.T) {
+	prop := func(seed uint64, n uint8) bool {
+		e := NewEngine()
+		rng := NewRNG(seed)
+		last := Time(-1)
+		ok := true
+		var ids []EventID
+		for i := 0; i < int(n)+1; i++ {
+			id := e.Schedule(rng.Duration(Millisecond)+1, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				if rng.Float64() < 0.3 {
+					ids = append(ids, e.Schedule(rng.Duration(Microsecond)+1, func() {
+						if e.Now() < last {
+							ok = false
+						}
+						last = e.Now()
+					}))
+				}
+			})
+			if rng.Float64() < 0.1 {
+				e.Cancel(id)
+			}
+		}
+		e.RunAll()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

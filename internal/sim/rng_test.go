@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(7)
+	f := r.Fork()
+	// The fork must not replay the parent's stream.
+	a := make([]uint64, 50)
+	for i := range a {
+		a[i] = r.Uint64()
+	}
+	for i := 0; i < 50; i++ {
+		v := f.Uint64()
+		for _, x := range a {
+			if v == x {
+				t.Fatal("forked stream collided with parent stream")
+			}
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGIntnRangeProperty(t *testing.T) {
+	prop := func(seed uint64, n uint16) bool {
+		r := NewRNG(seed)
+		m := int(n)%1000 + 1
+		for i := 0; i < 100; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGExpFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	sum, sumsq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	prop := func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		m := int(n)%64 + 1
+		p := r.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check over 16 buckets.
+	r := NewRNG(99)
+	const n = 160000
+	var buckets [16]int
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	want := n / 16
+	for i, c := range buckets {
+		if math.Abs(float64(c-want)) > 0.05*float64(want) {
+			t.Fatalf("bucket %d has %d draws, want ~%d", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package tcp
+
+import (
+	"testing"
+
+	"presto/internal/packet"
+	"presto/internal/sim"
+)
+
+// cubicEndpoint builds an endpoint with a controlled cwnd for direct
+// CC-math tests.
+func cubicEndpoint(eng *sim.Engine) *Endpoint {
+	f := packet.FlowKey{Src: packet.Addr{Host: 1, Port: 1}, Dst: packet.Addr{Host: 2, Port: 2}}
+	return New(eng, f, &captureDown{}, Config{CC: "cubic"})
+}
+
+func TestCubicConcaveGrowthTowardWmax(t *testing.T) {
+	eng := sim.NewEngine()
+	e := cubicEndpoint(eng)
+	c := &Cubic{}
+	e.SetCongestionControl(c)
+	e.SetCwnd(float64(200 * e.MSS()))
+
+	// A loss fixes wMax at the current window and shrinks cwnd.
+	after := c.OnLoss(e)
+	if after >= e.Cwnd() {
+		t.Fatalf("no decrease: %v -> %v", e.Cwnd(), after)
+	}
+	if after < 0.6*e.Cwnd() || after > 0.8*e.Cwnd() {
+		t.Fatalf("beta decrease = %v of %v, want ~0.7", after, e.Cwnd())
+	}
+	e.SetCwnd(after)
+
+	// Growth right after the loss is fast, then flattens approaching
+	// wMax (concave region).
+	w := e.Cwnd()
+	growthEarly := 0.0
+	for i := 0; i < 50; i++ {
+		nw := c.OnAck(e, e.MSS())
+		growthEarly += nw - e.Cwnd()
+		e.SetCwnd(nw)
+	}
+	eng.Schedule(50*sim.Millisecond, func() {})
+	eng.RunAll()
+	growthLate := 0.0
+	for i := 0; i < 50; i++ {
+		nw := c.OnAck(e, e.MSS())
+		growthLate += nw - e.Cwnd()
+		e.SetCwnd(nw)
+	}
+	if e.Cwnd() <= w {
+		t.Fatalf("cubic did not grow after loss: %v -> %v", w, e.Cwnd())
+	}
+	_ = growthEarly
+	_ = growthLate
+}
+
+func TestCubicFastConvergence(t *testing.T) {
+	eng := sim.NewEngine()
+	e := cubicEndpoint(eng)
+	c := &Cubic{}
+	e.SetCongestionControl(c)
+	// First loss at a high window.
+	e.SetCwnd(float64(400 * e.MSS()))
+	c.OnLoss(e)
+	firstWmax := c.wMax
+	// Second loss at a lower window: fast convergence sets wMax below
+	// the current window.
+	e.SetCwnd(float64(200 * e.MSS()))
+	c.OnLoss(e)
+	if c.wMax >= firstWmax {
+		t.Fatalf("fast convergence did not lower wMax: %v -> %v", firstWmax, c.wMax)
+	}
+	if c.wMax > e.Cwnd() {
+		t.Fatalf("wMax %v above the window %v at loss", c.wMax, e.Cwnd())
+	}
+}
+
+func TestCubicGrowthBoundedPerAck(t *testing.T) {
+	eng := sim.NewEngine()
+	e := cubicEndpoint(eng)
+	c := &Cubic{}
+	e.SetCongestionControl(c)
+	e.SetCwnd(float64(10 * e.MSS()))
+	// Long idle epoch would make the cubic target enormous; per-ACK
+	// growth must still be bounded by the bytes acked.
+	c.OnAck(e, e.MSS())
+	eng.Schedule(2*sim.Second, func() {})
+	eng.RunAll()
+	nw := c.OnAck(e, e.MSS())
+	if nw-e.Cwnd() > float64(e.MSS())+1 {
+		t.Fatalf("per-ack growth %v exceeds acked bytes", nw-e.Cwnd())
+	}
+}
+
+func TestRenoByteCounting(t *testing.T) {
+	eng := sim.NewEngine()
+	f := packet.FlowKey{Src: packet.Addr{Host: 1, Port: 1}, Dst: packet.Addr{Host: 2, Port: 2}}
+	e := New(eng, f, &captureDown{}, Config{CC: "reno"})
+	e.SetCwnd(float64(100 * e.MSS()))
+	// One full window of acks should grow cwnd by about one MSS.
+	grown := 0.0
+	for acked := 0; acked < int(e.Cwnd()); acked += e.MSS() {
+		nw := Reno{}.OnAck(e, e.MSS())
+		grown += nw - e.Cwnd()
+	}
+	if grown < 0.8*float64(e.MSS()) || grown > 1.3*float64(e.MSS()) {
+		t.Fatalf("reno grew %v per RTT, want ~1 MSS (%d)", grown, e.MSS())
+	}
+}

@@ -1,0 +1,212 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"presto/internal/packet"
+)
+
+func TestTwoTierClosShape(t *testing.T) {
+	// The paper's testbed: 4 spines, 4 leaves, 4 hosts per leaf.
+	tp := TwoTierClos(4, 4, 4, 1, LinkConfig{})
+	if got := tp.NumHosts(); got != 16 {
+		t.Fatalf("hosts = %d, want 16", got)
+	}
+	if len(tp.Spines) != 4 || len(tp.Leaves) != 4 {
+		t.Fatalf("spines/leaves = %d/%d", len(tp.Spines), len(tp.Leaves))
+	}
+	// 4*4 fabric links + 16 host links.
+	if len(tp.Links) != 32 {
+		t.Fatalf("links = %d, want 32", len(tp.Links))
+	}
+	// Every leaf has 4 uplinks and 4 host links.
+	for _, l := range tp.Leaves {
+		if deg := len(tp.LinksAt(l)); deg != 8 {
+			t.Errorf("leaf %v degree %d, want 8", l, deg)
+		}
+	}
+	for _, s := range tp.Spines {
+		if deg := len(tp.LinksAt(s)); deg != 4 {
+			t.Errorf("spine %v degree %d, want 4", s, deg)
+		}
+	}
+}
+
+func TestHostLeafAssignment(t *testing.T) {
+	tp := TwoTierClos(2, 2, 4, 1, LinkConfig{})
+	// Hosts 0-3 on leaf 0, hosts 4-7 on leaf 1.
+	for h := packet.HostID(0); h < 4; h++ {
+		if tp.LeafOf(h) != tp.Leaves[0] {
+			t.Errorf("host %d on wrong leaf", h)
+		}
+	}
+	for h := packet.HostID(4); h < 8; h++ {
+		if tp.LeafOf(h) != tp.Leaves[1] {
+			t.Errorf("host %d on wrong leaf", h)
+		}
+	}
+	if !tp.SameLeaf(0, 3) || tp.SameLeaf(0, 4) {
+		t.Error("SameLeaf wrong")
+	}
+}
+
+func TestTreesAreDisjointAndCoverLeaves(t *testing.T) {
+	for _, gamma := range []int{1, 2} {
+		tp := TwoTierClos(4, 4, 2, gamma, LinkConfig{})
+		trees := tp.Trees(nil)
+		if want := 4 * gamma; len(trees) != want {
+			t.Fatalf("gamma=%d: %d trees, want %d", gamma, len(trees), want)
+		}
+		used := map[LinkID]int{}
+		for _, tr := range trees {
+			if len(tr.LeafLink) != len(tp.Leaves) {
+				t.Fatalf("tree %d covers %d leaves, want %d", tr.Index, len(tr.LeafLink), len(tp.Leaves))
+			}
+			for leaf, l := range tr.LeafLink {
+				used[l]++
+				link := tp.Links[l]
+				if link.Other(tr.Spine) != leaf {
+					t.Fatalf("tree %d leaf link %d does not connect spine to leaf", tr.Index, l)
+				}
+			}
+		}
+		// Disjoint: every fabric link belongs to at most one tree.
+		for l, n := range used {
+			if n > 1 {
+				t.Fatalf("gamma=%d: link %d used by %d trees", gamma, l, n)
+			}
+		}
+	}
+}
+
+func TestTreesPruneOmittedLinks(t *testing.T) {
+	tp := TwoTierClos(4, 4, 2, 1, LinkConfig{})
+	// Fail the link between spine 0 and leaf 0.
+	bad := tp.SpineLeafLinks(tp.Spines[0], tp.Leaves[0])[0]
+	trees := tp.Trees(map[LinkID]bool{bad: true})
+	if len(trees) != 3 {
+		t.Fatalf("%d trees after prune, want 3", len(trees))
+	}
+	for _, tr := range trees {
+		for _, l := range tr.LeafLink {
+			if l == bad {
+				t.Fatal("pruned tree still uses failed link")
+			}
+		}
+	}
+}
+
+func TestPathsCount(t *testing.T) {
+	cases := []struct {
+		spines, gamma, want int
+	}{
+		{2, 1, 2}, {4, 1, 4}, {8, 1, 8}, {2, 2, 8}, // γ² per spine
+	}
+	for _, c := range cases {
+		tp := TwoTierClos(c.spines, 2, 2, c.gamma, LinkConfig{})
+		paths := tp.Paths(0, 2) // host 0 on leaf 0, host 2 on leaf 1
+		if len(paths) != c.want {
+			t.Errorf("spines=%d gamma=%d: %d paths, want %d", c.spines, c.gamma, len(paths), c.want)
+		}
+		for _, p := range paths {
+			if len(p) != 4 {
+				t.Errorf("cross-leaf path has %d links, want 4", len(p))
+			}
+		}
+	}
+}
+
+func TestPathsSameLeaf(t *testing.T) {
+	tp := TwoTierClos(4, 2, 4, 1, LinkConfig{})
+	paths := tp.Paths(0, 1)
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Fatalf("same-leaf paths = %v", paths)
+	}
+}
+
+func TestSingleSwitch(t *testing.T) {
+	tp := SingleSwitch(16, LinkConfig{})
+	if tp.NumHosts() != 16 || len(tp.Leaves) != 1 || len(tp.Spines) != 0 {
+		t.Fatal("single switch shape wrong")
+	}
+	if len(tp.Links) != 16 {
+		t.Fatalf("links = %d, want 16", len(tp.Links))
+	}
+	trees := tp.Trees(nil)
+	if len(trees) != 1 {
+		t.Fatalf("single switch should have 1 degenerate tree, got %d", len(trees))
+	}
+	paths := tp.Paths(0, 15)
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Fatalf("single switch paths = %v", paths)
+	}
+}
+
+func TestDefaultLinkConfigApplied(t *testing.T) {
+	tp := TwoTierClos(1, 1, 1, 1, LinkConfig{})
+	for _, l := range tp.Links {
+		if l.BitsPerSec != 10e9 {
+			t.Fatalf("link %d speed %d, want 10e9", l.ID, l.BitsPerSec)
+		}
+		if l.Propagation <= 0 {
+			t.Fatalf("link %d has no propagation delay", l.ID)
+		}
+	}
+}
+
+// Property: every enumerated path starts at the source access link,
+// ends at the destination access link, and alternates valid endpoints.
+func TestPathsWellFormedProperty(t *testing.T) {
+	prop := func(spinesRaw, leavesRaw, hostsRaw, srcRaw, dstRaw uint8) bool {
+		spines := int(spinesRaw)%6 + 1
+		leaves := int(leavesRaw)%4 + 2
+		hostsPer := int(hostsRaw)%3 + 1
+		tp := TwoTierClos(spines, leaves, hostsPer, 1, LinkConfig{})
+		n := tp.NumHosts()
+		src := packet.HostID(int(srcRaw) % n)
+		dst := packet.HostID(int(dstRaw) % n)
+		if src == dst {
+			return true
+		}
+		for _, p := range tp.Paths(src, dst) {
+			if p[0] != tp.HostLink(src) || p[len(p)-1] != tp.HostLink(dst) {
+				return false
+			}
+			// Check connectivity: walk from the source host.
+			at := tp.HostNode(src)
+			for _, lid := range p {
+				l := tp.Links[lid]
+				if l.A != at && l.B != at {
+					return false
+				}
+				at = l.Other(at)
+			}
+			if at != tp.HostNode(dst) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSpineHost(t *testing.T) {
+	tp := TwoTierClos(2, 2, 2, 1, LinkConfig{})
+	base := tp.NumHosts()
+	h := tp.AddSpineHost(tp.Spines[0], 100e6, 0)
+	if int(h) != base {
+		t.Fatalf("new host id %d, want %d", h, base)
+	}
+	if !tp.SpineAttached(h) || tp.SpineAttached(0) {
+		t.Fatal("SpineAttached wrong")
+	}
+	if tp.LeafOf(h) != tp.Spines[0] {
+		t.Fatal("remote user not attached to spine")
+	}
+	if tp.Links[tp.HostLink(h)].BitsPerSec != 100e6 {
+		t.Fatal("WAN rate not applied")
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"sort"
+
+	"presto/internal/metrics"
+	"presto/internal/packet"
+	"presto/internal/sim"
+)
+
+// FlowStats summarizes one unidirectional flow in a capture.
+type FlowStats struct {
+	Flow      packet.FlowKey
+	Packets   int
+	Bytes     int
+	First     sim.Time
+	Last      sim.Time
+	Flowcells int
+	// ReorderedPackets counts data packets whose sequence number is
+	// below the highest seen so far and that are not retransmission
+	// duplicates of delivered data (the §5 flowlet-analysis metric:
+	// "13%-29% packets in the connection are reordered").
+	ReorderedPackets int
+	// Retransmissions counts packets whose exact range was seen before.
+	Retransmissions int
+}
+
+// Goodput returns the flow's goodput in Gbps over its active span.
+func (f *FlowStats) Goodput() float64 {
+	span := f.Last - f.First
+	if span <= 0 {
+		return 0
+	}
+	return float64(f.Bytes) * 8 / span.Seconds() / 1e9
+}
+
+// ReorderFraction returns reordered packets / data packets.
+func (f *FlowStats) ReorderFraction() float64 {
+	if f.Packets == 0 {
+		return 0
+	}
+	return float64(f.ReorderedPackets) / float64(f.Packets)
+}
+
+// Analysis is the result of scanning a capture.
+type Analysis struct {
+	Flows map[packet.FlowKey]*FlowStats
+	// InterArrival is the distribution of data-packet inter-arrival
+	// times (µs), the raw material of flowlet analysis.
+	InterArrival metrics.Dist
+	Total        int
+}
+
+type flowScan struct {
+	stats   *FlowStats
+	highSeq uint32
+	seen    map[uint32]bool // start seqs observed (retransmission detection)
+	cells   map[uint32]bool
+	lastAt  sim.Time
+}
+
+// Analyze scans capture records into per-flow statistics. Records may
+// arrive in any order; they are sorted by timestamp first.
+func Analyze(recs []Record) *Analysis {
+	sorted := append([]Record(nil), recs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	a := &Analysis{Flows: make(map[packet.FlowKey]*FlowStats)}
+	scans := make(map[packet.FlowKey]*flowScan)
+	for _, rec := range sorted {
+		p := rec.Packet
+		if p.Payload == 0 {
+			continue // pure ACKs are not data
+		}
+		a.Total++
+		fs, ok := scans[p.Flow]
+		if !ok {
+			fs = &flowScan{
+				stats: &FlowStats{Flow: p.Flow, First: rec.At},
+				seen:  make(map[uint32]bool),
+				cells: make(map[uint32]bool),
+			}
+			fs.highSeq = p.Seq
+			fs.lastAt = rec.At
+			scans[p.Flow] = fs
+			a.Flows[p.Flow] = fs.stats
+		} else {
+			a.InterArrival.Add(sim.Time(rec.At - fs.lastAt).Microseconds())
+			fs.lastAt = rec.At
+		}
+		st := fs.stats
+		st.Packets++
+		st.Bytes += p.Payload
+		st.Last = rec.At
+		if !fs.cells[p.FlowcellID] {
+			fs.cells[p.FlowcellID] = true
+			st.Flowcells++
+		}
+		switch {
+		case fs.seen[p.Seq]:
+			st.Retransmissions++
+		case packet.SeqLT(p.Seq, fs.highSeq):
+			st.ReorderedPackets++
+		default:
+			fs.highSeq = p.Seq
+		}
+		fs.seen[p.Seq] = true
+	}
+	return a
+}
+
+// Flowlets splits one flow's records into flowlets using the given
+// inactivity gap and returns their sizes in bytes (Figure 1 computed
+// offline from a capture instead of from the sender policy).
+func Flowlets(recs []Record, flow packet.FlowKey, gap sim.Time) []int {
+	var pts []Record
+	for _, r := range recs {
+		if r.Packet.Flow == flow && r.Packet.Payload > 0 {
+			pts = append(pts, r)
+		}
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].At < pts[j].At })
+	var sizes []int
+	cur := 0
+	var last sim.Time
+	for i, r := range pts {
+		if i > 0 && r.At-last > gap {
+			sizes = append(sizes, cur)
+			cur = 0
+		}
+		cur += r.Packet.Payload
+		last = r.At
+	}
+	if cur > 0 {
+		sizes = append(sizes, cur)
+	}
+	return sizes
+}

@@ -1,0 +1,141 @@
+// Package trace provides packet capture and offline analysis for the
+// simulator: a classic libpcap-format writer/reader (so captures open
+// in tcpdump/Wireshark), a capture tap that hooks a host's NIC, and
+// the reordering/flowcell analyses behind Figures 1 and 5.
+//
+// Capture serializes packets with the canonical wire codec
+// (internal/packet), so the bytes on disk are real Ethernet frames
+// with the flowcell ID in its TCP option.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"presto/internal/packet"
+	"presto/internal/sim"
+)
+
+// Classic pcap constants (microsecond resolution, LINKTYPE_ETHERNET).
+const (
+	pcapMagic   = 0xa1b2c3d4
+	pcapVMajor  = 2
+	pcapVMinor  = 4
+	pcapEther   = 1
+	pcapSnapLen = 65535
+)
+
+// Record is one captured packet.
+type Record struct {
+	At     sim.Time
+	Packet *packet.Packet
+}
+
+// Writer emits a classic pcap stream.
+type Writer struct {
+	w      io.Writer
+	header bool
+	n      int
+}
+
+// NewWriter wraps w; the file header is emitted lazily on the first
+// packet.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WritePacket appends one packet with the given simulated timestamp.
+func (pw *Writer) WritePacket(at sim.Time, p *packet.Packet) error {
+	if !pw.header {
+		var h [24]byte
+		binary.LittleEndian.PutUint32(h[0:4], pcapMagic)
+		binary.LittleEndian.PutUint16(h[4:6], pcapVMajor)
+		binary.LittleEndian.PutUint16(h[6:8], pcapVMinor)
+		binary.LittleEndian.PutUint32(h[16:20], pcapSnapLen)
+		binary.LittleEndian.PutUint32(h[20:24], pcapEther)
+		if _, err := pw.w.Write(h[:]); err != nil {
+			return err
+		}
+		pw.header = true
+	}
+	frame := packet.Marshal(p)
+	var rec [16]byte
+	us := int64(at) / int64(sim.Microsecond)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(us/1e6))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(us%1e6))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(frame)
+	if err == nil {
+		pw.n++
+	}
+	return err
+}
+
+// Count returns packets written.
+func (pw *Writer) Count() int { return pw.n }
+
+// ErrBadMagic marks a stream that is not classic little-endian pcap.
+var ErrBadMagic = errors.New("trace: not a classic pcap stream")
+
+// Reader parses a classic pcap stream written by Writer (or any
+// little-endian microsecond pcap of Ethernet frames).
+type Reader struct {
+	r      io.Reader
+	header bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadPacket returns the next record, or io.EOF.
+func (pr *Reader) ReadPacket() (Record, error) {
+	if !pr.header {
+		var h [24]byte
+		if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+			return Record{}, err
+		}
+		if binary.LittleEndian.Uint32(h[0:4]) != pcapMagic {
+			return Record{}, ErrBadMagic
+		}
+		pr.header = true
+	}
+	var rec [16]byte
+	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		return Record{}, err
+	}
+	sec := binary.LittleEndian.Uint32(rec[0:4])
+	usec := binary.LittleEndian.Uint32(rec[4:8])
+	capLen := binary.LittleEndian.Uint32(rec[8:12])
+	if capLen > pcapSnapLen {
+		return Record{}, fmt.Errorf("trace: capture length %d exceeds snaplen", capLen)
+	}
+	frame := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, frame); err != nil {
+		return Record{}, err
+	}
+	p, err := packet.Unmarshal(frame)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: frame decode: %w", err)
+	}
+	at := sim.Time(int64(sec))*sim.Second + sim.Time(int64(usec))*sim.Microsecond
+	return Record{At: at, Packet: p}, nil
+}
+
+// ReadAll drains the stream.
+func (pr *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := pr.ReadPacket()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

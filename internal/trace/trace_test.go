@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"presto/internal/packet"
+	"presto/internal/sim"
+)
+
+func samplePkt(i int, fc uint32) *packet.Packet {
+	return &packet.Packet{
+		SrcMAC:     packet.HostMAC(1),
+		DstMAC:     packet.HostMAC(2),
+		Flow:       packet.FlowKey{Src: packet.Addr{Host: 1, Port: 40000}, Dst: packet.Addr{Host: 2, Port: 5001}},
+		Seq:        uint32(1 + i*packet.MSS),
+		Payload:    packet.MSS,
+		Flags:      packet.FlagACK,
+		FlowcellID: fc,
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	times := []sim.Time{0, 100 * sim.Microsecond, 3 * sim.Second}
+	for i, at := range times {
+		if err := w.WritePacket(at, samplePkt(i, uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("wrote %d", w.Count())
+	}
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.At/sim.Microsecond != times[i]/sim.Microsecond {
+			t.Errorf("record %d at %v, want %v", i, r.At, times[i])
+		}
+		if r.Packet.Seq != uint32(1+i*packet.MSS) || r.Packet.FlowcellID != uint32(i) {
+			t.Errorf("record %d mangled: %+v", i, r.Packet)
+		}
+	}
+}
+
+func TestPcapHeaderMagic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(0, samplePkt(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) < 24 || b[0] != 0xd4 || b[1] != 0xc3 || b[2] != 0xb2 || b[3] != 0xa1 {
+		t.Fatalf("bad pcap magic: % x", b[:4])
+	}
+}
+
+func TestPcapReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 64))).ReadPacket(); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)).ReadPacket(); err != io.EOF {
+		t.Fatalf("empty stream err = %v, want EOF", err)
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	var recs []Record
+	at := sim.Time(0)
+	// In-order flow: 10 packets, 2 flowcells, no reordering.
+	for i := 0; i < 10; i++ {
+		recs = append(recs, Record{At: at, Packet: samplePkt(i, uint32(i/5))})
+		at += 10 * sim.Microsecond
+	}
+	a := Analyze(recs)
+	if a.Total != 10 || len(a.Flows) != 1 {
+		t.Fatalf("total=%d flows=%d", a.Total, len(a.Flows))
+	}
+	for _, fs := range a.Flows {
+		if fs.Packets != 10 || fs.Flowcells != 2 || fs.ReorderedPackets != 0 || fs.Retransmissions != 0 {
+			t.Fatalf("stats: %+v", fs)
+		}
+		if fs.Goodput() <= 0 {
+			t.Fatal("no goodput")
+		}
+	}
+	if a.InterArrival.N() != 9 || a.InterArrival.Median() != 10 {
+		t.Fatalf("inter-arrival: n=%d median=%v", a.InterArrival.N(), a.InterArrival.Median())
+	}
+}
+
+func TestAnalyzeDetectsReorderingAndRetrans(t *testing.T) {
+	mk := func(i int, at sim.Time) Record {
+		return Record{At: at, Packet: samplePkt(i, 0)}
+	}
+	recs := []Record{
+		mk(0, 0), mk(2, 1000), mk(1, 2000), // packet 1 reordered
+		mk(2, 3000), // retransmission of packet 2
+	}
+	a := Analyze(recs)
+	for _, fs := range a.Flows {
+		if fs.ReorderedPackets != 1 {
+			t.Fatalf("reordered = %d, want 1", fs.ReorderedPackets)
+		}
+		if fs.Retransmissions != 1 {
+			t.Fatalf("retrans = %d, want 1", fs.Retransmissions)
+		}
+		if f := fs.ReorderFraction(); f <= 0 || f >= 1 {
+			t.Fatalf("reorder fraction %v", f)
+		}
+	}
+}
+
+func TestFlowletsSplitOnGap(t *testing.T) {
+	flow := samplePkt(0, 0).Flow
+	var recs []Record
+	at := sim.Time(0)
+	// Burst of 3, 1ms gap, burst of 2.
+	for i := 0; i < 3; i++ {
+		recs = append(recs, Record{At: at, Packet: samplePkt(i, 0)})
+		at += 50 * sim.Microsecond
+	}
+	at += sim.Millisecond
+	for i := 3; i < 5; i++ {
+		recs = append(recs, Record{At: at, Packet: samplePkt(i, 0)})
+		at += 50 * sim.Microsecond
+	}
+	sizes := Flowlets(recs, flow, 500*sim.Microsecond)
+	if len(sizes) != 2 || sizes[0] != 3*packet.MSS || sizes[1] != 2*packet.MSS {
+		t.Fatalf("flowlets = %v", sizes)
+	}
+}
+
+// Property: pcap round trip preserves every wire field for arbitrary
+// packets.
+func TestPcapRoundTripProperty(t *testing.T) {
+	prop := func(seq, ack, fc uint32, payload uint16, sport, dport uint16) bool {
+		p := &packet.Packet{
+			SrcMAC:     packet.HostMAC(3),
+			DstMAC:     packet.ShadowMAC(9, 4),
+			Flow:       packet.FlowKey{Src: packet.Addr{Host: 3, Port: sport}, Dst: packet.Addr{Host: 9, Port: dport}},
+			Seq:        seq,
+			Ack:        ack,
+			Flags:      packet.FlagACK,
+			Payload:    int(payload) % (packet.MSS + 1),
+			FlowcellID: fc,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WritePacket(42*sim.Microsecond, p); err != nil {
+			return false
+		}
+		recs, err := NewReader(&buf).ReadAll()
+		if err != nil || len(recs) != 1 {
+			return false
+		}
+		q := recs[0].Packet
+		return q.Flow == p.Flow && q.Seq == p.Seq && q.Ack == p.Ack &&
+			q.Payload == p.Payload && q.FlowcellID == p.FlowcellID &&
+			q.SrcMAC == p.SrcMAC && q.DstMAC == p.DstMAC
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package vswitch
+
+import (
+	"presto/internal/packet"
+	"presto/internal/sim"
+)
+
+// prestoFlowState is Algorithm 1's per-flow datapath counter.
+type prestoFlowState struct {
+	bytecount  int
+	macIdx     int
+	flowcellID uint32
+	lastSeen   sim.Time
+}
+
+// policyGCThreshold bounds per-flow datapath state: once a policy's
+// flow table exceeds this, entries idle longer than policyGCIdle are
+// swept (OVS ages datapath flows the same way).
+const (
+	policyGCThreshold = 4096
+	policyGCIdle      = sim.Time(10 * sim.Second)
+)
+
+// Presto implements Algorithm 1: assign the same shadow MAC to
+// consecutive segments until 64 KB accumulates, then advance to the
+// next label round-robin and bump the flowcell ID. Weighted
+// multipathing falls out of duplicated labels in the mapping list.
+type Presto struct {
+	// Threshold is the flowcell size (default: the 64 KB max TSO
+	// size). Exposed for the flowcell-granularity ablation.
+	Threshold int
+
+	flows map[packet.FlowKey]*prestoFlowState
+}
+
+// NewPresto returns the paper's sender policy.
+func NewPresto() *Presto {
+	return &Presto{Threshold: packet.MaxSegSize, flows: make(map[packet.FlowKey]*prestoFlowState)}
+}
+
+// NewPrestoThreshold returns a Presto policy with a custom flowcell
+// size (ablation).
+func NewPrestoThreshold(threshold int) *Presto {
+	p := NewPresto()
+	if threshold > 0 {
+		p.Threshold = threshold
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *Presto) Name() string { return "presto" }
+
+// Select implements Policy — the pseudo-code of Algorithm 1. Note that
+// retransmitted TCP segments run through this code again, exactly as
+// in the paper's OVS datapath.
+func (p *Presto) Select(vs *VSwitch, seg *packet.Segment) {
+	st, ok := p.flows[seg.Flow]
+	if !ok {
+		if len(p.flows) >= policyGCThreshold {
+			sweepIdle(vs.Eng.Now(), p.flows)
+		}
+		st = &prestoFlowState{}
+		p.flows[seg.Flow] = st
+	}
+	st.lastSeen = vs.Eng.Now()
+	n := seg.Len()
+	if st.bytecount+n > p.Threshold {
+		st.bytecount = n
+		st.macIdx++
+		st.flowcellID++
+		vs.Stats.Flowcells++
+	} else {
+		st.bytecount += n
+	}
+	seg.FlowcellID = st.flowcellID
+	macs := vs.Mapping(seg.Flow.Dst.Host)
+	if len(macs) == 0 {
+		seg.DstMAC = packet.HostMAC(seg.Flow.Dst.Host)
+		return
+	}
+	seg.DstMAC = macs[st.macIdx%len(macs)]
+}
+
+// ECMP is the paper's ECMP baseline: enumerate the end-to-end paths
+// (the controller's label list) and pin each flow to one of them,
+// chosen by hash. Flowcell IDs stay at zero — the whole flow is one
+// unit.
+type ECMP struct {
+	rng *sim.RNG
+	// pinned remembers each flow's choice so it never changes.
+	pinned map[packet.FlowKey]packet.MAC
+}
+
+// NewECMP returns a per-flow random path policy seeded by rng.
+func NewECMP(rng *sim.RNG) *ECMP {
+	return &ECMP{rng: rng, pinned: make(map[packet.FlowKey]packet.MAC)}
+}
+
+// Name implements Policy.
+func (e *ECMP) Name() string { return "ecmp" }
+
+// Select implements Policy.
+func (e *ECMP) Select(vs *VSwitch, seg *packet.Segment) {
+	if mac, ok := e.pinned[seg.Flow]; ok {
+		seg.DstMAC = mac
+		return
+	}
+	macs := vs.Mapping(seg.Flow.Dst.Host)
+	var mac packet.MAC
+	if len(macs) == 0 {
+		mac = packet.HostMAC(seg.Flow.Dst.Host)
+	} else {
+		mac = macs[e.rng.Intn(len(macs))]
+	}
+	e.pinned[seg.Flow] = mac
+	seg.DstMAC = mac
+}
+
+// flowletState tracks one flow's flowlet detection.
+type flowletState struct {
+	lastSeen  sim.Time
+	macIdx    int
+	flowletID uint32
+	bytes     int
+	// Sizes records completed flowlet sizes in bytes (Figure 1).
+	sizes []int
+}
+
+// Flowlet implements flowlet switching at the software edge (§5's
+// comparison): a new flowlet starts when the inter-segment gap
+// exceeds Gap; flowlets are scheduled round-robin over the label
+// list. The receiver pairs this with official GRO.
+type Flowlet struct {
+	Gap sim.Time
+
+	flows map[packet.FlowKey]*flowletState
+}
+
+// NewFlowlet returns a flowlet policy with the given inactivity gap
+// (the paper evaluates 100 µs and 500 µs).
+func NewFlowlet(gap sim.Time) *Flowlet {
+	return &Flowlet{Gap: gap, flows: make(map[packet.FlowKey]*flowletState)}
+}
+
+// sweepIdle deletes flow entries idle past the GC threshold.
+func sweepIdle[V interface{ idleSince() sim.Time }](now sim.Time, m map[packet.FlowKey]V) {
+	for k, v := range m {
+		if now-v.idleSince() > policyGCIdle {
+			delete(m, k)
+		}
+	}
+}
+
+func (s *prestoFlowState) idleSince() sim.Time { return s.lastSeen }
+func (s *flowletState) idleSince() sim.Time    { return s.lastSeen }
+
+// Name implements Policy.
+func (f *Flowlet) Name() string { return "flowlet" }
+
+// Select implements Policy.
+func (f *Flowlet) Select(vs *VSwitch, seg *packet.Segment) {
+	now := vs.Eng.Now()
+	st, ok := f.flows[seg.Flow]
+	if !ok {
+		if len(f.flows) >= policyGCThreshold {
+			sweepIdle(now, f.flows)
+		}
+		st = &flowletState{lastSeen: now}
+		f.flows[seg.Flow] = st
+	} else if now-st.lastSeen > f.Gap {
+		// Inactivity gap: close the current flowlet, start the next.
+		st.sizes = append(st.sizes, st.bytes)
+		st.bytes = 0
+		st.macIdx++
+		st.flowletID++
+		vs.Stats.Flowcells++
+	}
+	st.lastSeen = now
+	st.bytes += seg.Len()
+	seg.FlowcellID = st.flowletID
+	macs := vs.Mapping(seg.Flow.Dst.Host)
+	if len(macs) == 0 {
+		seg.DstMAC = packet.HostMAC(seg.Flow.Dst.Host)
+		return
+	}
+	seg.DstMAC = macs[st.macIdx%len(macs)]
+}
+
+// FlowletSizes returns the completed flowlet sizes (bytes) of a flow,
+// including the currently open flowlet.
+func (f *Flowlet) FlowletSizes(flow packet.FlowKey) []int {
+	st, ok := f.flows[flow]
+	if !ok {
+		return nil
+	}
+	out := append([]int(nil), st.sizes...)
+	if st.bytes > 0 {
+		out = append(out, st.bytes)
+	}
+	return out
+}
+
+// PrestoECMP stamps flowcells with Algorithm 1 but keeps the real
+// destination MAC, so the fabric's per-hop ECMP groups hash on
+// (flow, flowcell ID) — the Figure 14 comparison against end-to-end
+// shadow-MAC multipathing.
+type PrestoECMP struct {
+	inner *Presto
+}
+
+// NewPrestoECMP returns the per-hop variant.
+func NewPrestoECMP() *PrestoECMP { return &PrestoECMP{inner: NewPresto()} }
+
+// Name implements Policy.
+func (p *PrestoECMP) Name() string { return "presto-ecmp" }
+
+// Select implements Policy.
+func (p *PrestoECMP) Select(vs *VSwitch, seg *packet.Segment) {
+	p.inner.Select(vs, seg)
+	// Discard the label: per-hop hashing forwards on the real MAC.
+	seg.DstMAC = packet.HostMAC(seg.Flow.Dst.Host)
+}
+
+// PerPacket sprays every MTU packet independently: flowcell threshold
+// of one MSS. Pair it with a transport MaxSeg of one MSS (TSO off) to
+// reproduce the per-packet schemes the paper argues cannot scale
+// (§2.1).
+type PerPacket struct {
+	inner *Presto
+}
+
+// NewPerPacket returns a per-packet spraying policy.
+func NewPerPacket() *PerPacket {
+	return &PerPacket{inner: NewPrestoThreshold(packet.MSS)}
+}
+
+// Name implements Policy.
+func (p *PerPacket) Name() string { return "per-packet" }
+
+// Select implements Policy.
+func (p *PerPacket) Select(vs *VSwitch, seg *packet.Segment) { p.inner.Select(vs, seg) }

@@ -1,0 +1,130 @@
+// Package vswitch models the soft edge the paper builds Presto into:
+// an Open vSwitch-like datapath on each host that monitors outgoing
+// traffic, chops flows into flowcells (Algorithm 1), rewrites
+// destination MACs to controller-supplied shadow-MAC labels, and on
+// receive restores real MACs and demultiplexes segments to transport
+// endpoints.
+//
+// Load-balancing behaviour is pluggable: Presto round-robin flowcell
+// spraying (with weighted multipathing via duplicated labels, §3.3),
+// per-flow ECMP path pinning (the paper's ECMP baseline), flowlet
+// switching with a configurable inactivity gap (§5), per-packet
+// spraying, and Presto+ECMP per-hop hashing (Figure 14).
+package vswitch
+
+import (
+	"presto/internal/packet"
+	"presto/internal/sim"
+)
+
+// SegmentSender is the layer below the vSwitch (the NIC's TSO entry).
+type SegmentSender interface {
+	SendSegment(seg *packet.Segment)
+}
+
+// Endpoint receives segments destined to a local transport endpoint.
+type Endpoint interface {
+	DeliverSegment(seg *packet.Segment)
+}
+
+// Policy decides each outgoing segment's destination MAC (label) and
+// flowcell ID.
+type Policy interface {
+	Name() string
+	// Select stamps seg (DstMAC, FlowcellID) for the given vSwitch.
+	Select(vs *VSwitch, seg *packet.Segment)
+}
+
+// Stats counts datapath activity.
+type Stats struct {
+	SegmentsOut uint64
+	SegmentsIn  uint64
+	MACRewrites uint64 // shadow-MAC stampings (one memcpy each, §5)
+	MACRestores uint64 // receive-side label→real rewrites
+	Flowcells   uint64 // flowcell transitions observed
+}
+
+// VSwitch is one host's edge datapath.
+type VSwitch struct {
+	Eng  *sim.Engine
+	Host packet.HostID
+
+	out    SegmentSender
+	policy Policy
+
+	// mappings: destination host → list of shadow MACs, one per
+	// spanning tree, pushed by the controller. Duplicated entries
+	// realize path weights. An empty list means "use the real MAC"
+	// (same-leaf destinations, single-switch topologies).
+	mappings map[packet.HostID][]packet.MAC
+
+	// table demultiplexes received segments to local endpoints, keyed
+	// by the flow the endpoint *sends* on.
+	table map[packet.FlowKey]Endpoint
+
+	Stats Stats
+}
+
+// New creates a vSwitch for host h with the given policy.
+func New(eng *sim.Engine, h packet.HostID, out SegmentSender, policy Policy) *VSwitch {
+	return &VSwitch{
+		Eng:      eng,
+		Host:     h,
+		out:      out,
+		policy:   policy,
+		mappings: make(map[packet.HostID][]packet.MAC),
+		table:    make(map[packet.FlowKey]Endpoint),
+	}
+}
+
+// Policy returns the active load-balancing policy.
+func (vs *VSwitch) Policy() Policy { return vs.policy }
+
+// SetSender installs the layer below (the NIC). Used at wiring time
+// when the NIC is constructed after the vSwitch.
+func (vs *VSwitch) SetSender(out SegmentSender) { vs.out = out }
+
+// SetMapping installs (or replaces) the controller-supplied shadow-MAC
+// list for a destination host.
+func (vs *VSwitch) SetMapping(dst packet.HostID, macs []packet.MAC) {
+	vs.mappings[dst] = macs
+}
+
+// Mapping returns the label list for dst (nil if none installed).
+func (vs *VSwitch) Mapping(dst packet.HostID) []packet.MAC { return vs.mappings[dst] }
+
+// Register binds a local endpoint to the flow it sends on, so
+// segments of the reverse flow reach it.
+func (vs *VSwitch) Register(sendFlow packet.FlowKey, ep Endpoint) {
+	vs.table[sendFlow] = ep
+}
+
+// Unregister removes a flow binding.
+func (vs *VSwitch) Unregister(sendFlow packet.FlowKey) { delete(vs.table, sendFlow) }
+
+// Send implements tcp.Downstream: the host stack hands a ≤64 KB TSO
+// write to the datapath, which stamps it and passes it to the NIC.
+func (vs *VSwitch) Send(seg *packet.Segment) {
+	seg.SrcMAC = packet.HostMAC(vs.Host)
+	vs.policy.Select(vs, seg)
+	vs.Stats.SegmentsOut++
+	if seg.DstMAC.IsLabel() {
+		vs.Stats.MACRewrites++
+	}
+	vs.out.SendSegment(seg)
+}
+
+// DeliverSegment is the receive path: GRO pushes merged segments here;
+// the vSwitch conceptually restores the real destination MAC (the one
+// memcpy the paper counts) and hands the segment to the owning
+// endpoint.
+func (vs *VSwitch) DeliverSegment(seg *packet.Segment) {
+	vs.Stats.SegmentsIn++
+	if seg.DstMAC.IsLabel() {
+		seg.DstMAC = packet.HostMAC(vs.Host)
+		vs.Stats.MACRestores++
+	}
+	if ep, ok := vs.table[seg.Flow.Reverse()]; ok {
+		ep.DeliverSegment(seg)
+	}
+}

@@ -1,0 +1,176 @@
+// Package presto is a full reproduction of "Presto: Edge-based Load
+// Balancing for Fast Datacenter Networks" (He et al., SIGCOMM 2015)
+// on a deterministic discrete-event network simulator.
+//
+// The package exposes the experiment harness used by the examples,
+// the cmd/experiments binary, and the benchmarks: one runner per
+// table and figure in the paper's evaluation. The building blocks —
+// flowcell spraying (Algorithm 1), the modified GRO flush (Algorithm
+// 2), shadow-MAC spanning trees, the Clos fabric, TCP/MPTCP — live in
+// the internal packages and are assembled by internal/cluster.
+package presto
+
+import (
+	"fmt"
+
+	"presto/internal/cluster"
+	"presto/internal/packet"
+	"presto/internal/sim"
+	"presto/internal/topo"
+)
+
+// System is a complete load-balancing configuration compared in the
+// evaluation (§4): edge policy + receive offload + transport +
+// topology baseline.
+type System int
+
+// The systems of §4/§5.
+const (
+	// SysECMP pins each flow to one random end-to-end path.
+	SysECMP System = iota
+	// SysMPTCP runs 8 ECMP-pinned subflows with coupled congestion
+	// control.
+	SysMPTCP
+	// SysPresto is the paper's contribution: 64 KB flowcell spraying +
+	// Presto GRO.
+	SysPresto
+	// SysOptimal attaches all hosts to one non-blocking switch.
+	SysOptimal
+	// SysFlowlet100 switches flowlets at a 100 µs inactivity gap.
+	SysFlowlet100
+	// SysFlowlet500 switches flowlets at a 500 µs inactivity gap.
+	SysFlowlet500
+	// SysPrestoECMP sprays flowcells per hop via switch ECMP hashing.
+	SysPrestoECMP
+	// SysPerPacket sprays every MTU packet (TSO off).
+	SysPerPacket
+)
+
+func (s System) String() string {
+	switch s {
+	case SysECMP:
+		return "ECMP"
+	case SysMPTCP:
+		return "MPTCP"
+	case SysPresto:
+		return "Presto"
+	case SysOptimal:
+		return "Optimal"
+	case SysFlowlet100:
+		return "Flowlet-100us"
+	case SysFlowlet500:
+		return "Flowlet-500us"
+	case SysPrestoECMP:
+		return "Presto+ECMP"
+	case SysPerPacket:
+		return "PerPacket"
+	}
+	return fmt.Sprintf("System(%d)", int(s))
+}
+
+// Options tunes an experiment run. Zero values take defaults sized
+// for simulation (the paper runs 10 s × 20 repetitions on hardware;
+// the simulator's deterministic steady state needs far less).
+type Options struct {
+	Seed     uint64
+	Warmup   sim.Time // excluded from measurement (default 50 ms)
+	Duration sim.Time // measurement window (default 200 ms)
+
+	MiceSize      int      // bytes per mouse (default 50 KB, §4)
+	MiceResp      int      // app-level ack size (default 100 B)
+	MiceInterval  sim.Time // per-pair spacing (paper: 100 ms; default 5 ms to gather tail samples in a short window)
+	ProbeInterval sim.Time // RTT probe spacing (default 1 ms)
+
+	// GROOverride forces a receive-offload handler regardless of the
+	// system's natural choice (Figure 5 pairs Presto spraying with
+	// official GRO).
+	GROOverride cluster.GROKind
+}
+
+func (o *Options) fill() {
+	if o.Warmup == 0 {
+		o.Warmup = 50 * sim.Millisecond
+	}
+	if o.Duration == 0 {
+		o.Duration = 200 * sim.Millisecond
+	}
+	if o.MiceSize == 0 {
+		o.MiceSize = 50_000
+	}
+	if o.MiceResp == 0 {
+		o.MiceResp = 100
+	}
+	if o.MiceInterval == 0 {
+		o.MiceInterval = 5 * sim.Millisecond
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = sim.Millisecond
+	}
+}
+
+// Testbed returns the paper's Figure 3 topology: a 2-tier Clos with 4
+// spines, 4 leaves, and 16 hosts, all 10 Gbps.
+func Testbed() *topo.Topology {
+	return topo.TwoTierClos(4, 4, 4, 1, topo.LinkConfig{})
+}
+
+// ScalabilityTopo returns Figure 4a's topology: 2 leaves and `paths`
+// spines, with one host per (leaf, flow).
+func ScalabilityTopo(paths int) *topo.Topology {
+	return topo.TwoTierClos(paths, 2, paths, 1, topo.LinkConfig{})
+}
+
+// OversubTopo returns Figure 4b's topology: 2 spines, 2 leaves, and
+// `flows` hosts per leaf (oversubscription = flows/2).
+func OversubTopo(flows int) *topo.Topology {
+	return topo.TwoTierClos(2, 2, flows, 1, topo.LinkConfig{})
+}
+
+// OptimalTopo returns a single non-blocking switch with the given
+// host count.
+func OptimalTopo(hosts int) *topo.Topology {
+	return topo.SingleSwitch(hosts, topo.LinkConfig{})
+}
+
+// buildCluster assembles a cluster for a system on a topology.
+func buildCluster(sys System, tp *topo.Topology, opt Options) *cluster.Cluster {
+	cfg := cluster.Config{Topology: tp, Seed: opt.Seed, GRO: opt.GROOverride}
+	switch sys {
+	case SysECMP, SysOptimal:
+		cfg.Scheme = cluster.ECMP
+	case SysMPTCP:
+		cfg.Scheme = cluster.MPTCP
+	case SysPresto:
+		cfg.Scheme = cluster.Presto
+	case SysFlowlet100:
+		cfg.Scheme = cluster.Flowlet
+		cfg.FlowletGap = 100 * sim.Microsecond
+	case SysFlowlet500:
+		cfg.Scheme = cluster.Flowlet
+		cfg.FlowletGap = 500 * sim.Microsecond
+	case SysPrestoECMP:
+		cfg.Scheme = cluster.PrestoECMP
+	case SysPerPacket:
+		cfg.Scheme = cluster.PerPacket
+	}
+	return cluster.New(cfg)
+}
+
+// topoFor returns the topology a system runs on, given the Clos the
+// non-optimal systems use: Optimal swaps in a single switch with the
+// same host count.
+func topoFor(sys System, clos func() *topo.Topology) *topo.Topology {
+	if sys == SysOptimal {
+		return topo.SingleSwitch(clos().NumHosts(), topo.LinkConfig{})
+	}
+	return clos()
+}
+
+// hostPairs builds (i, i+offset) pairs over n hosts.
+func hostPairs(n, offset int) [][2]packet.HostID {
+	out := make([][2]packet.HostID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, [2]packet.HostID{packet.HostID(i), packet.HostID((i + offset) % n)})
+	}
+	return out
+}
