@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"presto/internal/metrics"
 	"presto/internal/sim"
 	"presto/internal/tcp"
+	"presto/internal/telemetry"
 	"presto/internal/workload"
 )
 
@@ -33,6 +36,17 @@ var (
 	duration = flag.Duration("duration", 200*time.Millisecond, "measurement window per run (simulated)")
 	warmup   = flag.Duration("warmup", 50*time.Millisecond, "warmup per run (simulated)")
 	csvDir   = flag.String("csv", "", "directory to write raw CDF series as CSV (for replotting the figures)")
+
+	tracePath  = flag.String("trace", "", "write a Chrome trace-event file covering every run (one process per run)")
+	eventsPath = flag.String("events", "", "write the raw event log as JSON Lines")
+	snapPath   = flag.String("snapshot", "", "write the final telemetry snapshot JSON (probes namespaced run<N>/)")
+	verbose    = flag.Bool("v", false, "print the telemetry snapshot summary after all runs")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile")
+	memProfile = flag.String("memprofile", "", "write a pprof heap profile")
+
+	// registry is shared by every run of the invocation; nil unless a
+	// telemetry flag is set.
+	registry *telemetry.Registry
 )
 
 // writeCDF dumps a distribution's CDF to <csvDir>/<name>.csv when -csv
@@ -59,9 +73,10 @@ func writeCDF(name string, d *metrics.Dist) {
 
 func opt() presto.Options {
 	return presto.Options{
-		Seed:     *seed,
-		Duration: sim.Time(duration.Nanoseconds()),
-		Warmup:   sim.Time(warmup.Nanoseconds()),
+		Seed:      *seed,
+		Duration:  sim.Time(duration.Nanoseconds()),
+		Warmup:    sim.Time(warmup.Nanoseconds()),
+		Telemetry: registry,
 	}
 }
 
@@ -72,6 +87,26 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
+	if *tracePath != "" || *eventsPath != "" || *snapPath != "" || *verbose {
+		var tr *telemetry.Tracer
+		if *tracePath != "" || *eventsPath != "" {
+			tr = telemetry.NewTracer()
+		}
+		registry = telemetry.NewRegistry(tr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	exps := []experiment{
 		{"fig1", "Flowlet sizes vs competing flows (500us gap)", fig1},
 		{"fig5", "GRO reordering microbenchmark (OOO counts, segment sizes)", fig5},
@@ -107,6 +142,52 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *runFlag)
 		os.Exit(2)
+	}
+	exportTelemetry()
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+}
+
+// exportTelemetry writes the shared registry's outputs once every
+// requested experiment has run.
+func exportTelemetry() {
+	if registry == nil {
+		return
+	}
+	tr := registry.Tracer()
+	fail := func(what string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+		os.Exit(2)
+	}
+	if *tracePath != "" {
+		if err := telemetry.WriteFile(*tracePath, tr.WriteChromeTrace); err != nil {
+			fail("trace", err)
+		}
+	}
+	if *eventsPath != "" {
+		if err := telemetry.WriteFile(*eventsPath, tr.WriteJSONL); err != nil {
+			fail("events", err)
+		}
+	}
+	snap := registry.Snapshot(0)
+	if *snapPath != "" {
+		if err := telemetry.WriteFile(*snapPath, snap.WriteJSON); err != nil {
+			fail("snapshot", err)
+		}
+	}
+	if *verbose {
+		fmt.Print(snap.Summary())
 	}
 }
 
@@ -357,7 +438,7 @@ func fig18() {
 // using the same miniature harness as bench_ablation_test.go.
 func ablations() {
 	runStride := func(mut func(*cluster.Config)) (gbps float64, c *cluster.Cluster) {
-		cfg := cluster.Config{Topology: presto.Testbed(), Scheme: cluster.Presto, Seed: *seed}
+		cfg := cluster.Config{Topology: presto.Testbed(), Scheme: cluster.Presto, Seed: *seed, Telemetry: registry}
 		if mut != nil {
 			mut(&cfg)
 		}

@@ -4,61 +4,153 @@
 //
 //	prestosim -system presto -workload stride -duration 200ms
 //	prestosim -system ecmp -workload bijection -seed 7
+//
+// Observability flags: -trace writes a Chrome trace-event file (open
+// in Perfetto / chrome://tracing), -events a JSON Lines event log,
+// -snapshot a per-component counter dump, and -v prints the snapshot
+// summary table. -cpuprofile/-memprofile capture pprof profiles of the
+// simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"presto"
 	"presto/internal/sim"
+	"presto/internal/telemetry"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("prestosim", flag.ContinueOnError)
 	var (
-		system   = flag.String("system", "presto", "ecmp | mptcp | presto | optimal | flowlet100 | flowlet500 | presto-ecmp | per-packet")
-		workload = flag.String("workload", "stride", "stride | shuffle | random | bijection")
-		duration = flag.Duration("duration", 200*time.Millisecond, "measurement window (simulated)")
-		warmup   = flag.Duration("warmup", 50*time.Millisecond, "warmup before measurement (simulated)")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		system     = fs.String("system", "presto", "ecmp | mptcp | presto | optimal | flowlet100 | flowlet500 | presto-ecmp | per-packet")
+		workload   = fs.String("workload", "stride", "stride | shuffle | random | bijection")
+		duration   = fs.Duration("duration", 200*time.Millisecond, "measurement window (simulated)")
+		warmup     = fs.Duration("warmup", 50*time.Millisecond, "warmup before measurement (simulated)")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		tracePath  = fs.String("trace", "", "write Chrome trace-event JSON to this file")
+		eventsPath = fs.String("events", "", "write the raw event log as JSON Lines to this file")
+		snapPath   = fs.String("snapshot", "", "write the telemetry snapshot JSON to this file")
+		verbose    = fs.Bool("v", false, "print the telemetry snapshot summary table")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sys, err := parseSystem(*system)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
 	kind, err := parseWorkload(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Telemetry is wired only when some output wants it; otherwise the
+	// run takes the nil-tracer zero-overhead path.
+	var reg *telemetry.Registry
+	if *tracePath != "" || *eventsPath != "" || *snapPath != "" || *verbose {
+		var tr *telemetry.Tracer
+		if *tracePath != "" || *eventsPath != "" {
+			tr = telemetry.NewTracer()
+		}
+		reg = telemetry.NewRegistry(tr)
+	}
+
 	opt := presto.Options{
-		Seed:     *seed,
-		Duration: sim.Time(duration.Nanoseconds()),
-		Warmup:   sim.Time(warmup.Nanoseconds()),
+		Seed:      *seed,
+		Duration:  sim.Time(duration.Nanoseconds()),
+		Warmup:    sim.Time(warmup.Nanoseconds()),
+		Telemetry: reg,
 	}
 
 	start := time.Now()
 	res := presto.RunWorkload(sys, kind, opt)
 	elapsed := time.Since(start)
 
-	fmt.Printf("system=%v workload=%v seed=%d duration=%v\n", sys, kind, *seed, *duration)
-	fmt.Printf("  elephant throughput: %.2f Gbps/flow (fairness %.3f)\n", res.MeanTput, res.Fairness)
-	fmt.Printf("  loss rate:           %.4f%%\n", res.LossRate*100)
+	fmt.Fprintf(stdout, "system=%v workload=%v seed=%d duration=%v\n", sys, kind, *seed, *duration)
+	fmt.Fprintf(stdout, "  elephant throughput: %.2f Gbps/flow (fairness %.3f)\n", res.MeanTput, res.Fairness)
+	fmt.Fprintf(stdout, "  loss rate:           %.4f%%\n", res.LossRate*100)
 	if res.RTT != nil && res.RTT.N() > 0 {
-		fmt.Printf("  RTT (ms):            p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f (n=%d)\n",
+		fmt.Fprintf(stdout, "  RTT (ms):            p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f (n=%d)\n",
 			res.RTT.Percentile(50), res.RTT.Percentile(90), res.RTT.Percentile(99), res.RTT.Percentile(99.9), res.RTT.N())
 	}
 	if res.FCT != nil && res.FCT.N() > 0 {
-		fmt.Printf("  mice FCT (ms):       p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f (n=%d, timeouts=%d)\n",
+		fmt.Fprintf(stdout, "  mice FCT (ms):       p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f (n=%d, timeouts=%d)\n",
 			res.FCT.Percentile(50), res.FCT.Percentile(90), res.FCT.Percentile(99), res.FCT.Percentile(99.9), res.FCT.N(), res.MiceTimeouts)
 	}
-	fmt.Printf("  wall time:           %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "  wall time:           %v\n", elapsed.Round(time.Millisecond))
+
+	if err := writeTelemetry(reg, res.Telemetry, *tracePath, *eventsPath, *snapPath); err != nil {
+		return err
+	}
+	if *verbose && res.Telemetry != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, res.Telemetry.Summary())
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTelemetry exports the tracer and snapshot to the requested
+// files (shared with cmd/experiments' flag handling in spirit).
+func writeTelemetry(reg *telemetry.Registry, snap *telemetry.Snapshot, tracePath, eventsPath, snapPath string) error {
+	tr := reg.Tracer()
+	if tracePath != "" {
+		if err := telemetry.WriteFile(tracePath, tr.WriteChromeTrace); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if eventsPath != "" {
+		if err := telemetry.WriteFile(eventsPath, tr.WriteJSONL); err != nil {
+			return fmt.Errorf("writing events: %w", err)
+		}
+	}
+	if snapPath != "" && snap != nil {
+		if err := telemetry.WriteFile(snapPath, snap.WriteJSON); err != nil {
+			return fmt.Errorf("writing snapshot: %w", err)
+		}
+	}
+	return nil
 }
 
 func parseSystem(s string) (presto.System, error) {

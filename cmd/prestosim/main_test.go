@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseSystemAll(t *testing.T) {
+	for _, s := range []string{"ecmp", "mptcp", "presto", "optimal", "flowlet100",
+		"flowlet500", "presto-ecmp", "per-packet"} {
+		if _, err := parseSystem(s); err != nil {
+			t.Errorf("parseSystem(%q): %v", s, err)
+		}
+	}
+	if _, err := parseSystem("bogus"); err == nil {
+		t.Error("parseSystem accepted bogus system")
+	}
+}
+
+func TestParseWorkloadAll(t *testing.T) {
+	for _, w := range []string{"stride", "shuffle", "random", "bijection"} {
+		if _, err := parseWorkload(w); err != nil {
+			t.Errorf("parseWorkload(%q): %v", w, err)
+		}
+	}
+	if _, err := parseWorkload("bogus"); err == nil {
+		t.Error("parseWorkload accepted bogus workload")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-system", "nope"}, &out); err == nil {
+		t.Error("bad -system accepted")
+	}
+	if err := run([]string{"-notaflag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRunEverySystem smoke-runs each -system value over a tiny window.
+func TestRunEverySystem(t *testing.T) {
+	for _, sys := range []string{"ecmp", "mptcp", "presto", "optimal", "flowlet100",
+		"flowlet500", "presto-ecmp", "per-packet"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-system", sys, "-workload", "stride",
+			"-warmup", "5ms", "-duration", "10ms",
+		}, &out)
+		if err != nil {
+			t.Fatalf("system %s: %v", sys, err)
+		}
+		if !strings.Contains(out.String(), "elephant throughput") {
+			t.Fatalf("system %s: missing output:\n%s", sys, out.String())
+		}
+	}
+}
+
+// TestRunTraceExport runs the flagship invocation from the README and
+// parses the emitted Chrome trace back: it must be valid JSON holding
+// at least one FlowcellEmit and one GROFlush with a populated reason.
+func TestRunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.json")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	snapPath := filepath.Join(dir, "snap.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-system", "presto", "-workload", "stride",
+		"-warmup", "5ms", "-duration", "10ms",
+		"-trace", tracePath, "-events", eventsPath, "-snapshot", snapPath, "-v",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	var flowcells, flushes int
+	for _, ev := range trace.TraceEvents {
+		if ev.Phase != "i" {
+			continue
+		}
+		switch ev.Name {
+		case "FlowcellEmit":
+			flowcells++
+		case "GROFlush":
+			if r, _ := ev.Args["reason"].(string); r == "" {
+				t.Fatalf("GROFlush missing reason: %v", ev.Args)
+			}
+			flushes++
+		}
+	}
+	if flowcells < 1 || flushes < 1 {
+		t.Fatalf("trace incomplete: %d FlowcellEmit, %d GROFlush", flowcells, flushes)
+	}
+
+	// Events file: every line must be standalone JSON.
+	evRaw, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(evRaw), []byte("\n"))
+	if len(lines) == 0 {
+		t.Fatal("empty events file")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("bad JSONL first line: %v", err)
+	}
+
+	// Snapshot file: valid JSON with components.
+	snapRaw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Components map[string]map[string]any `json:"components"`
+	}
+	if err := json.Unmarshal(snapRaw, &snap); err != nil {
+		t.Fatalf("bad snapshot JSON: %v", err)
+	}
+	if len(snap.Components) == 0 {
+		t.Fatal("snapshot has no components")
+	}
+	if _, ok := snap.Components["engine"]; !ok {
+		t.Fatal("snapshot missing engine probe")
+	}
+
+	// -v printed the summary table.
+	if !strings.Contains(out.String(), "component") || !strings.Contains(out.String(), "peak_pending") {
+		t.Fatalf("-v summary missing:\n%s", out.String())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"presto/internal/metrics"
 	"presto/internal/packet"
 	"presto/internal/sim"
+	"presto/internal/telemetry"
 	"presto/internal/topo"
 	"presto/internal/workload"
 )
@@ -45,6 +46,10 @@ type LoadResult struct {
 	LossRate     float64       // switch-counter loss fraction
 	Fairness     float64       // Jain's index over elephant goodputs
 	MiceTimeouts int           // mice that hit an RTO
+
+	// Telemetry is the run's component snapshot (nil unless
+	// Options.Telemetry was set).
+	Telemetry *telemetry.Snapshot
 }
 
 // RunScalability runs the Figure 4a benchmark (Figures 7, 8, 9): as
@@ -129,6 +134,7 @@ func measureLoad(sys System, c *cluster.Cluster, el *workload.Elephants, probers
 		res.FCT = &mice.FCT
 		res.MiceTimeouts = mice.Timeouts
 	}
+	res.Telemetry = c.Telemetry().Snapshot(c.Eng.Now())
 	return res
 }
 

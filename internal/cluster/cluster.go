@@ -16,6 +16,7 @@ import (
 	"presto/internal/packet"
 	"presto/internal/sim"
 	"presto/internal/tcp"
+	"presto/internal/telemetry"
 	"presto/internal/topo"
 	"presto/internal/vswitch"
 )
@@ -108,6 +109,14 @@ type Config struct {
 	// RecordFlowcells enables per-receiver flowcell arrival logs
 	// (Figure 5a).
 	RecordFlowcells bool
+
+	// Telemetry, when non-nil, wires the registry's tracer through every
+	// component, registers snapshot probes, and starts the fabric link
+	// monitor. Nil (the default) leaves the whole layer off.
+	Telemetry *telemetry.Registry
+	// MonitorInterval overrides the link monitor's sampling period
+	// (default fabric.DefaultMonitorInterval). Only used with Telemetry.
+	MonitorInterval sim.Time
 }
 
 // Host is one server: its edge datapath and interface.
@@ -130,6 +139,7 @@ type Cluster struct {
 	nextPort uint16
 	conns    []*Conn
 	taps     map[packet.HostID]*tap
+	mon      *fabric.Monitor
 }
 
 // New builds and wires a testbed. The controller's label state is
@@ -177,6 +187,7 @@ func New(cfg Config) *Cluster {
 		c.Hosts = append(c.Hosts, &Host{ID: h, VS: vs, NIC: n})
 	}
 	c.Ctrl.InstallAll()
+	c.wireTelemetry()
 	return c
 }
 

@@ -42,6 +42,13 @@ type Conn struct {
 func (c *Cluster) Dial(src, dst packet.HostID) *Conn {
 	conn := &Conn{c: c, Src: src, Dst: dst, OpenedAt: c.Eng.Now()}
 	cfg := c.tcpConfig()
+	// Endpoint trace events are attributed to the host whose stack runs
+	// the endpoint: the forward sender lives at src, the reverse at dst.
+	fwdCfg, revCfg := cfg, cfg
+	fwdCfg.Tracer = c.cfg.Telemetry.Tracer()
+	fwdCfg.TraceHost = int32(src)
+	revCfg.Tracer = fwdCfg.Tracer
+	revCfg.TraceHost = int32(dst)
 	srcVS, dstVS := c.Hosts[src].VS, c.Hosts[dst].VS
 
 	if c.cfg.Scheme == MPTCP {
@@ -50,8 +57,8 @@ func (c *Cluster) Dial(src, dst packet.HostID) *Conn {
 				Src: packet.Addr{Host: src, Port: c.allocPort()},
 				Dst: packet.Addr{Host: dst, Port: 5001},
 			}
-			fe := tcp.New(c.Eng, f, srcVS, cfg)
-			re := tcp.New(c.Eng, f.Reverse(), dstVS, cfg)
+			fe := tcp.New(c.Eng, f, srcVS, fwdCfg)
+			re := tcp.New(c.Eng, f.Reverse(), dstVS, revCfg)
 			srcVS.Register(f, fe)
 			dstVS.Register(f.Reverse(), re)
 			conn.mfwd = append(conn.mfwd, fe)
@@ -76,8 +83,8 @@ func (c *Cluster) Dial(src, dst packet.HostID) *Conn {
 			Src: packet.Addr{Host: src, Port: c.allocPort()},
 			Dst: packet.Addr{Host: dst, Port: 5001},
 		}
-		conn.fwd = tcp.New(c.Eng, f, srcVS, cfg)
-		conn.rev = tcp.New(c.Eng, f.Reverse(), dstVS, cfg)
+		conn.fwd = tcp.New(c.Eng, f, srcVS, fwdCfg)
+		conn.rev = tcp.New(c.Eng, f.Reverse(), dstVS, revCfg)
 		srcVS.Register(f, conn.fwd)
 		dstVS.Register(f.Reverse(), conn.rev)
 		conn.flows = append(conn.flows, f)

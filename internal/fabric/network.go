@@ -5,6 +5,7 @@ import (
 
 	"presto/internal/packet"
 	"presto/internal/sim"
+	"presto/internal/telemetry"
 	"presto/internal/topo"
 )
 
@@ -82,6 +83,7 @@ type Network struct {
 	TotalHopDrops  uint64 // loop-guard drops
 
 	linkDownSince map[topo.LinkID]sim.Time
+	tracer        *telemetry.Tracer
 }
 
 // New builds the data plane for t.
@@ -120,6 +122,10 @@ func (n *Network) AttachHost(h packet.HostID, handler Handler) {
 	n.hosts[h] = handler
 }
 
+// SetTracer attaches a structured event tracer to the data plane (nil
+// disables tracing, the default).
+func (n *Network) SetTracer(tr *telemetry.Tracer) { n.tracer = tr }
+
 // Switch returns the switch at node id.
 func (n *Network) Switch(id topo.NodeID) *Switch { return n.switches[id] }
 
@@ -155,6 +161,7 @@ func (n *Network) FailLink(id topo.LinkID) {
 		return
 	}
 	n.linkDownSince[id] = n.Eng.Now()
+	n.tracer.LinkDown(n.Eng.Now(), int32(id))
 	l := n.Topo.Links[id]
 	n.pipes[pipeKey{id, l.A}].fail()
 	n.pipes[pipeKey{id, l.B}].fail()
@@ -166,6 +173,7 @@ func (n *Network) RestoreLink(id topo.LinkID) {
 		return
 	}
 	delete(n.linkDownSince, id)
+	n.tracer.LinkUp(n.Eng.Now(), int32(id))
 	l := n.Topo.Links[id]
 	n.pipes[pipeKey{id, l.A}].restore()
 	n.pipes[pipeKey{id, l.B}].restore()
@@ -213,6 +221,36 @@ func (n *Network) LossRate() float64 {
 		return 0
 	}
 	return float64(drops) / float64(enq)
+}
+
+// TelemetrySnapshot implements a telemetry probe over the data plane:
+// aggregate counters plus per-link-direction transmit totals, drops,
+// utilization over the run so far, and the queue-depth watermark.
+func (n *Network) TelemetrySnapshot() map[string]any {
+	links := make(map[string]any, len(n.pipes))
+	elapsed := n.Eng.Now()
+	for k, p := range n.pipes {
+		util := 0.0
+		if elapsed > 0 {
+			util = float64(p.TxBytes*8) / (elapsed.Seconds() * float64(p.link.BitsPerSec))
+		}
+		links[fmt.Sprintf("link%d:%d->%d", k.link, k.from, p.link.Other(k.from))] = map[string]any{
+			"tx_packets":      p.TxPackets,
+			"tx_bytes":        p.TxBytes,
+			"drops":           p.Drops,
+			"drops_down":      p.DropsDown,
+			"utilization":     util,
+			"max_queue_bytes": p.MaxQueuedBytes,
+		}
+	}
+	return map[string]any{
+		"delivered":  n.TotalDelivered,
+		"drops":      n.TotalDrops,
+		"drops_down": n.TotalDropsDown,
+		"hop_drops":  n.TotalHopDrops,
+		"loss_rate":  n.LossRate(),
+		"links":      links,
+	}
 }
 
 // String summarizes counters for debugging.

@@ -35,6 +35,8 @@ type Pipe struct {
 	DropsDown  uint64 // black-holed while the link was down
 	EnqPackets uint64
 	LastActive sim.Time
+	// MaxQueuedBytes is the queue-depth watermark (wire bytes).
+	MaxQueuedBytes int
 }
 
 // Up reports whether the pipe's link is up.
@@ -50,12 +52,14 @@ func (p *Pipe) Enqueue(pkt *packet.Packet) {
 	if p.down {
 		p.DropsDown++
 		p.net.TotalDropsDown++
+		p.net.tracer.QueueDrop(p.eng.Now(), int32(p.link.ID), p.queuedWire, "link-down")
 		return
 	}
 	w := pkt.WireSize()
 	if p.queuedWire+w > p.capBytes {
 		p.Drops++
 		p.net.TotalDrops++
+		p.net.tracer.QueueDrop(p.eng.Now(), int32(p.link.ID), p.queuedWire, "tail-drop")
 		return
 	}
 	if t := p.net.cfg.ECNThresholdBytes; t > 0 && p.queuedWire > t &&
@@ -63,6 +67,9 @@ func (p *Pipe) Enqueue(pkt *packet.Packet) {
 		pkt.CE = true
 	}
 	p.queuedWire += w
+	if p.queuedWire > p.MaxQueuedBytes {
+		p.MaxQueuedBytes = p.queuedWire
+	}
 	p.queue = append(p.queue, pkt)
 	if !p.busy {
 		p.transmitNext()

@@ -26,6 +26,9 @@ type Switch struct {
 
 	// RxPackets counts packets this switch forwarded.
 	RxPackets uint64
+	// FailoverRewrites counts packets relabeled onto a backup tree by
+	// the fast-failover rule.
+	FailoverRewrites uint64
 }
 
 func newSwitch(n *Network, node topo.Node) *Switch {
@@ -93,6 +96,8 @@ func (s *Switch) forwardLabel(p *packet.Packet) {
 			return
 		}
 		if s.net.failoverActive(egress) && s.rewriteToBackupTree(p) {
+			s.FailoverRewrites++
+			s.net.tracer.FailoverSwitch(s.net.Eng.Now(), int32(s.node.ID), int32(egress), p.DstMAC.ShadowTree())
 			s.forward(p)
 			return
 		}

@@ -16,6 +16,7 @@ import (
 	"presto/internal/metrics"
 	"presto/internal/packet"
 	"presto/internal/sim"
+	"presto/internal/telemetry"
 )
 
 // Output receives segments pushed up the networking stack.
@@ -34,6 +35,66 @@ type Handler interface {
 	Stats() *Stats
 }
 
+// FlushReason classifies why a data segment was pushed up the stack.
+// Every deliverData call carries one, so the per-reason counters sum
+// to SegmentsOut.
+type FlushReason uint8
+
+// The flush vocabulary across all handlers.
+const (
+	// FlushInOrder: in-order delivery (same flowcell, or the next
+	// flowcell starting exactly in sequence).
+	FlushInOrder FlushReason = iota
+	// FlushLossGap: a sequence gap inside a flowcell — its packets
+	// share one path, so the gap is loss; push immediately (Alg. 2
+	// lines 3-5).
+	FlushLossGap
+	// FlushBoundaryTimeout: a flowcell-boundary gap held past the
+	// adaptive α·EWMA (+β merge-hold) timeout — declared loss.
+	FlushBoundaryTimeout
+	// FlushOverlap: overlap with a retransmitted first packet of a new
+	// flowcell — pushed so TCP reacts immediately.
+	FlushOverlap
+	// FlushStale: a stale flowcell (late retransmission).
+	FlushStale
+	// FlushSegFull: Official GRO completed an in-order segment at the
+	// 64 KB cap.
+	FlushSegFull
+	// FlushEviction: Official GRO ejected a segment on a merge failure
+	// (the small-segment-flooding path).
+	FlushEviction
+	// FlushPollEnd: Official GRO's end-of-poll flush.
+	FlushPollEnd
+	// FlushNoGRO: pass-through delivery with offload disabled.
+	FlushNoGRO
+
+	numFlushReasons
+)
+
+func (r FlushReason) String() string {
+	switch r {
+	case FlushInOrder:
+		return "in-order"
+	case FlushLossGap:
+		return "loss-gap"
+	case FlushBoundaryTimeout:
+		return "boundary-timeout"
+	case FlushOverlap:
+		return "overlap-retrans"
+	case FlushStale:
+		return "stale-flowcell"
+	case FlushSegFull:
+		return "seg-full"
+	case FlushEviction:
+		return "eviction"
+	case FlushPollEnd:
+		return "poll-end"
+	case FlushNoGRO:
+		return "no-gro"
+	}
+	return "unknown"
+}
+
 // Stats counts handler activity. SegSizes records the payload size of
 // every data segment pushed up (Figure 5b).
 type Stats struct {
@@ -46,13 +107,43 @@ type Stats struct {
 	TimeoutFires uint64 // Presto: boundary gaps declared lost
 	ReorderHolds uint64 // Presto: flushes that held at least one segment
 
+	// FlushReasons counts data-segment deliveries by cause; the entries
+	// sum to SegmentsOut.
+	FlushReasons [numFlushReasons]uint64
+
 	SegSizes metrics.Dist
+
+	tracer *telemetry.Tracer
+	host   int32
 }
 
-func (s *Stats) deliverData(out Output, seg *packet.Segment) {
+// SetTracer attaches a structured event tracer (nil disables, the
+// default) and the host actor for emitted events. For stacked handlers
+// (LRO) this reaches the inner software handler, whose Stats are the
+// shared ones.
+func (s *Stats) SetTracer(tr *telemetry.Tracer, host int32) {
+	s.tracer = tr
+	s.host = host
+}
+
+// ReasonCounts returns the per-reason flush counts as a name→count
+// map (zero entries omitted), for snapshot probes.
+func (s *Stats) ReasonCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for r, n := range s.FlushReasons {
+		if n > 0 {
+			out[FlushReason(r).String()] = n
+		}
+	}
+	return out
+}
+
+func (s *Stats) deliverData(out Output, seg *packet.Segment, reason FlushReason, at sim.Time) {
 	s.SegmentsOut++
+	s.FlushReasons[reason]++
 	s.BytesOut += uint64(seg.Len())
 	s.SegSizes.Add(float64(seg.Len()))
+	s.tracer.GROFlush(at, s.host, seg.Len(), seg.Packets, reason.String())
 	out.DeliverSegment(seg)
 }
 
@@ -151,7 +242,7 @@ func (n *None) Receive(p *packet.Packet) {
 		return
 	}
 	n.stats.PacketsIn++
-	n.stats.deliverData(n.Out, segFromPacket(p, n.Eng.Now()))
+	n.stats.deliverData(n.Out, segFromPacket(p, n.Eng.Now()), FlushNoGRO, n.Eng.Now())
 }
 
 // Flush implements Handler.

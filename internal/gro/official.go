@@ -51,10 +51,12 @@ func (o *Official) Receive(p *packet.Packet) {
 	// normal completion; anything else (reordering, option mismatch)
 	// is a pathological eviction — the small-segment-flooding path.
 	inOrderFull := p.Seq == seg.EndSeq && p.FlowcellID == seg.FlowcellID
+	reason := FlushSegFull
 	if !inOrderFull {
 		o.stats.Evictions++
+		reason = FlushEviction
 	}
-	o.evict(p.Flow, seg)
+	o.evict(p.Flow, seg, reason)
 	o.put(p.Flow, segFromPacket(p, now))
 }
 
@@ -63,7 +65,7 @@ func (o *Official) Flush() {
 	for _, f := range o.order {
 		if seg, ok := o.segs[f]; ok {
 			delete(o.segs, f)
-			o.stats.deliverData(o.Out, seg)
+			o.stats.deliverData(o.Out, seg, FlushPollEnd, o.Eng.Now())
 		}
 	}
 	o.order = o.order[:0]
@@ -77,7 +79,7 @@ func (o *Official) put(f packet.FlowKey, seg *packet.Segment) {
 	o.order = append(o.order, f)
 }
 
-func (o *Official) evict(f packet.FlowKey, seg *packet.Segment) {
+func (o *Official) evict(f packet.FlowKey, seg *packet.Segment, reason FlushReason) {
 	delete(o.segs, f)
 	// The flow re-registers in order via put; drop its stale slot.
 	for i, k := range o.order {
@@ -86,5 +88,5 @@ func (o *Official) evict(f packet.FlowKey, seg *packet.Segment) {
 			break
 		}
 	}
-	o.stats.deliverData(o.Out, seg)
+	o.stats.deliverData(o.Out, seg, reason, o.Eng.Now())
 }

@@ -207,8 +207,12 @@ func (g *Presto) Flush() {
 			case s.FlowcellID == f.lastFlowcell:
 				// Lines 3-5: same flowcell. Any gap inside a flowcell is
 				// loss (its packets share one path), so push immediately.
+				reason := FlushInOrder
+				if packet.SeqGT(s.StartSeq, f.expSeq) {
+					reason = FlushLossGap
+				}
 				f.expSeq = packet.SeqMax(f.expSeq, s.EndSeq)
-				g.stats.deliverData(g.Out, s)
+				g.stats.deliverData(g.Out, s, reason, now)
 			case packet.SeqGT(s.FlowcellID, f.lastFlowcell):
 				switch {
 				case f.expSeq == s.StartSeq:
@@ -221,13 +225,13 @@ func (g *Presto) Flush() {
 					}
 					f.lastFlowcell = s.FlowcellID
 					f.expSeq = s.EndSeq
-					g.stats.deliverData(g.Out, s)
+					g.stats.deliverData(g.Out, s, FlushInOrder, now)
 				case packet.SeqGT(f.expSeq, s.StartSeq):
 					// Lines 11-13: overlap — a retransmitted first packet
 					// of a new flowcell. Push so TCP reacts immediately.
 					f.lastFlowcell = s.FlowcellID
 					f.expSeq = packet.SeqMax(f.expSeq, s.EndSeq)
-					g.stats.deliverData(g.Out, s)
+					g.stats.deliverData(g.Out, s, FlushOverlap, now)
 				case now >= holdUntil(s):
 					// Lines 14-18: held long enough — declare loss. The
 					// elapsed hold still feeds the estimator: if this was
@@ -242,7 +246,7 @@ func (g *Presto) Flush() {
 					f.gapActive = false
 					f.lastFlowcell = s.FlowcellID
 					f.expSeq = s.EndSeq
-					g.stats.deliverData(g.Out, s)
+					g.stats.deliverData(g.Out, s, FlushBoundaryTimeout, now)
 				default:
 					// Boundary gap, still within the adaptive hold: keep
 					// the segment so in-flight packets can fill the gap.
@@ -259,7 +263,7 @@ func (g *Presto) Flush() {
 			default:
 				// Line 20: stale flowcell (late retransmission) — push
 				// immediately.
-				g.stats.deliverData(g.Out, s)
+				g.stats.deliverData(g.Out, s, FlushStale, now)
 			}
 		}
 		f.segs = kept
@@ -269,6 +273,9 @@ func (g *Presto) Flush() {
 		delay := nextDeadline - now
 		if delay < sim.Microsecond {
 			delay = sim.Microsecond
+		}
+		if g.stats.tracer != nil {
+			g.stats.tracer.GROHold(now, g.stats.host, g.HeldSegments(), now+delay)
 		}
 		g.timer.Reset(delay)
 	} else {

@@ -132,10 +132,13 @@ func (d *Dist) FractionBelow(v float64) float64 {
 	return float64(i) / float64(len(d.samples))
 }
 
-// Samples returns the sorted samples (shared slice; do not modify).
+// Samples returns a copy of the sorted samples; mutating it cannot
+// corrupt the distribution's internal state.
 func (d *Dist) Samples() []float64 {
 	d.sort()
-	return d.samples
+	out := make([]float64, len(d.samples))
+	copy(out, d.samples)
+	return out
 }
 
 // Summary formats mean and key percentiles in the given unit.
@@ -258,6 +261,11 @@ func RenderQuantileBars(d *Dist, percentiles []float64, width int, unit string) 
 		n := 0
 		if max > 0 {
 			n = int(v / max * float64(width))
+		}
+		if n < 0 {
+			// Negative samples (e.g. a distribution of deltas) must not
+			// produce a negative bar width: strings.Repeat panics.
+			n = 0
 		}
 		if n > width {
 			n = width

@@ -246,3 +246,41 @@ func TestRenderQuantileBars(t *testing.T) {
 		t.Fatal("empty dist render wrong")
 	}
 }
+
+func TestSamplesReturnsCopy(t *testing.T) {
+	var d Dist
+	d.Add(3)
+	d.Add(1)
+	d.Add(2)
+	s := d.Samples()
+	s[0] = 999
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("mutating Samples() corrupted the distribution: min=%v, want 1", got)
+	}
+	if got := d.Samples()[0]; got != 1 {
+		t.Fatalf("second Samples() call sees mutation: %v", got)
+	}
+}
+
+func TestRenderQuantileBarsNegativeValues(t *testing.T) {
+	var d Dist
+	d.Add(-5)
+	d.Add(-2)
+	d.Add(3)
+	// Must not panic (a negative percentile over a positive max used to
+	// produce a negative strings.Repeat count).
+	out := RenderQuantileBars(&d, []float64{50, 99}, 20, "ms")
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRenderQuantileBarsAllNegative(t *testing.T) {
+	var d Dist
+	d.Add(-5)
+	d.Add(-1)
+	out := RenderQuantileBars(&d, []float64{50, 90, 99}, 20, "ms")
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"presto/internal/gro"
 	"presto/internal/packet"
 	"presto/internal/sim"
+	"presto/internal/telemetry"
 )
 
 // CPUConfig sets the receive-path cost model.
@@ -102,6 +103,7 @@ type Stats struct {
 	RxDrops    uint64 // ring-overflow drops (receiver livelock)
 	Polls      uint64
 	BusyTime   sim.Time // accumulated CPU busy time
+	MaxRing    int      // RX ring occupancy watermark
 }
 
 // NIC is one host's interface. It implements fabric.Handler on the
@@ -119,6 +121,7 @@ type NIC struct {
 	busy     bool
 	intTimer *sim.Timer
 	intArmed bool
+	tracer   *telemetry.Tracer
 
 	Stats Stats
 }
@@ -153,6 +156,33 @@ func New(eng *sim.Engine, net *fabric.Network, h packet.HostID, up gro.Output, m
 
 // GRO returns the hosted receive-offload handler.
 func (n *NIC) GRO() gro.Handler { return n.gro }
+
+// SetTracer attaches a structured event tracer to this NIC and its GRO
+// handler (nil disables, the default).
+func (n *NIC) SetTracer(tr *telemetry.Tracer) {
+	n.tracer = tr
+	n.gro.Stats().SetTracer(tr, int32(n.host))
+}
+
+// TelemetrySnapshot implements a telemetry probe: NIC counters plus the
+// hosted GRO handler's flush-reason breakdown.
+func (n *NIC) TelemetrySnapshot() map[string]any {
+	st := n.gro.Stats()
+	return map[string]any{
+		"tx_segments":   n.Stats.TxSegments,
+		"tx_packets":    n.Stats.TxPackets,
+		"rx_packets":    n.Stats.RxPackets,
+		"rx_drops":      n.Stats.RxDrops,
+		"polls":         n.Stats.Polls,
+		"busy_ns":       int64(n.Stats.BusyTime),
+		"max_ring":      n.Stats.MaxRing,
+		"gro_packets":   st.PacketsIn,
+		"gro_segments":  st.SegmentsOut,
+		"gro_merges":    st.Merges,
+		"gro_evictions": st.Evictions,
+		"gro_reasons":   st.ReasonCounts(),
+	}
+}
 
 // SendSegment performs TSO: split a ≤64 KB segment into MTU packets,
 // replicating the shadow MAC and flowcell ID onto each (exactly what
@@ -202,9 +232,13 @@ func (n *NIC) HandlePacket(p *packet.Packet) {
 	if len(n.ring) >= n.cfg.RingSize {
 		// Receiver livelock: the CPU can't drain the ring fast enough.
 		n.Stats.RxDrops++
+		n.tracer.RingDrop(n.eng.Now(), int32(n.host), len(n.ring))
 		return
 	}
 	n.ring = append(n.ring, p)
+	if len(n.ring) > n.Stats.MaxRing {
+		n.Stats.MaxRing = len(n.ring)
+	}
 	n.Stats.RxPackets++
 	if n.cfg.DisableCPUModel {
 		if !n.busy {

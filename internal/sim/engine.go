@@ -104,6 +104,9 @@ type Engine struct {
 	// Executed counts events that have run, as a cheap progress/liveness
 	// measure for tests and benchmarks.
 	Executed uint64
+	// PeakPending is the high-water mark of the event queue — the
+	// engine's peak heap depth, exposed as a telemetry probe.
+	PeakPending int
 }
 
 // NewEngine returns an Engine with the clock at zero.
@@ -136,6 +139,9 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	e.seq++
 	ev := &event{at: t, seq: e.seq, fn: fn}
 	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.PeakPending {
+		e.PeakPending = len(e.queue)
+	}
 	return EventID{ev}
 }
 
@@ -165,9 +171,13 @@ func (e *Engine) Stop() { e.stopped = true }
 // the current time if nothing ran).
 func (e *Engine) Run(until Time) Time {
 	e.run(until)
-	if e.now < until && len(e.queue) == 0 && !e.stopped {
-		// Queue drained before the horizon: advance the clock so callers
-		// measuring elapsed time get the full window.
+	if e.now < until && !e.stopped {
+		// Advance the clock to the horizon even when later events remain
+		// queued: Run(until) means "simulate up to until", so callers
+		// measuring elapsed time get the full window regardless of when
+		// the last event before the horizon happened to fire. (This also
+		// keeps Now() independent of read-only instrumentation events —
+		// the telemetry determinism guarantee.)
 		e.now = until
 	}
 	return e.now

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"presto/internal/packet"
 	"presto/internal/sim"
+	"presto/internal/telemetry"
 )
 
 // Downstream accepts outgoing segments from an endpoint (the vSwitch
@@ -45,6 +46,11 @@ type Config struct {
 	// RecordFlowcells logs the flowcell ID of every received data
 	// segment for the Figure 5a out-of-order analysis.
 	RecordFlowcells bool
+
+	// Tracer, when non-nil, receives retransmit and cwnd trace events,
+	// attributed to TraceHost (the sending host of this endpoint).
+	Tracer    *telemetry.Tracer
+	TraceHost int32
 }
 
 // DefaultConfig returns the experiment settings from §4.
@@ -564,6 +570,7 @@ func (e *Endpoint) enterRecovery() {
 	e.cwnd = e.ssthresh + float64(e.cfg.DupAckThresh*e.cfg.MSS)
 	e.clampCwnd()
 	e.Stats.Retransmits++
+	e.cfg.Tracer.Retransmit(e.eng.Now(), e.cfg.TraceHost, e.sndUna, int64(e.cwnd), "fast")
 	e.retransmitHole()
 }
 
@@ -613,6 +620,7 @@ func (e *Endpoint) onRTO() {
 		return
 	}
 	e.Stats.Timeouts++
+	e.cfg.Tracer.Retransmit(e.eng.Now(), e.cfg.TraceHost, e.sndUna, int64(e.cwnd), "rto")
 	e.ssthresh = e.cwnd / 2
 	if e.ssthresh < 2*float64(e.cfg.MSS) {
 		e.ssthresh = 2 * float64(e.cfg.MSS)
@@ -678,6 +686,7 @@ func (e *Endpoint) onProbeTimeout() {
 		return
 	}
 	e.Stats.Probes++
+	e.cfg.Tracer.Retransmit(e.eng.Now(), e.cfg.TraceHost, e.sndUna, int64(e.cwnd), "probe")
 	n := int(packet.SeqDiff(e.sndNxt, e.sndUna))
 	if n > e.cfg.MSS {
 		n = e.cfg.MSS
@@ -720,6 +729,7 @@ func (e *Endpoint) sampleRTT(ack uint32) {
 	if e.srtt == 0 {
 		e.srtt = sample
 		e.rttvar = sample / 2
+		e.cfg.Tracer.Cwnd(now, e.cfg.TraceHost, int64(e.cwnd), e.srtt)
 		return
 	}
 	// RFC 6298 smoothing.
@@ -729,6 +739,7 @@ func (e *Endpoint) sampleRTT(ack uint32) {
 	}
 	e.rttvar = (3*e.rttvar + d) / 4
 	e.srtt = (7*e.srtt + sample) / 8
+	e.cfg.Tracer.Cwnd(now, e.cfg.TraceHost, int64(e.cwnd), e.srtt)
 }
 
 func (e *Endpoint) clampCwnd() {

@@ -55,6 +55,13 @@ func (p *Presto) Name() string { return "presto" }
 // retransmitted TCP segments run through this code again, exactly as
 // in the paper's OVS datapath.
 func (p *Presto) Select(vs *VSwitch, seg *packet.Segment) {
+	macs := vs.Mapping(seg.Flow.Dst.Host)
+	pathOf := func(macIdx int) int {
+		if len(macs) == 0 {
+			return 0
+		}
+		return macIdx % len(macs)
+	}
 	st, ok := p.flows[seg.Flow]
 	if !ok {
 		if len(p.flows) >= policyGCThreshold {
@@ -62,6 +69,7 @@ func (p *Presto) Select(vs *VSwitch, seg *packet.Segment) {
 		}
 		st = &prestoFlowState{}
 		p.flows[seg.Flow] = st
+		vs.noteFlowcell(pathOf(0), 0)
 	}
 	st.lastSeen = vs.Eng.Now()
 	n := seg.Len()
@@ -69,12 +77,11 @@ func (p *Presto) Select(vs *VSwitch, seg *packet.Segment) {
 		st.bytecount = n
 		st.macIdx++
 		st.flowcellID++
-		vs.Stats.Flowcells++
+		vs.noteFlowcell(pathOf(st.macIdx), st.flowcellID)
 	} else {
 		st.bytecount += n
 	}
 	seg.FlowcellID = st.flowcellID
-	macs := vs.Mapping(seg.Flow.Dst.Host)
 	if len(macs) == 0 {
 		seg.DstMAC = packet.HostMAC(seg.Flow.Dst.Host)
 		return
@@ -161,6 +168,13 @@ func (f *Flowlet) Name() string { return "flowlet" }
 // Select implements Policy.
 func (f *Flowlet) Select(vs *VSwitch, seg *packet.Segment) {
 	now := vs.Eng.Now()
+	macs := vs.Mapping(seg.Flow.Dst.Host)
+	pathOf := func(macIdx int) int {
+		if len(macs) == 0 {
+			return 0
+		}
+		return macIdx % len(macs)
+	}
 	st, ok := f.flows[seg.Flow]
 	if !ok {
 		if len(f.flows) >= policyGCThreshold {
@@ -168,18 +182,18 @@ func (f *Flowlet) Select(vs *VSwitch, seg *packet.Segment) {
 		}
 		st = &flowletState{lastSeen: now}
 		f.flows[seg.Flow] = st
+		vs.noteFlowcell(pathOf(0), 0)
 	} else if now-st.lastSeen > f.Gap {
 		// Inactivity gap: close the current flowlet, start the next.
 		st.sizes = append(st.sizes, st.bytes)
 		st.bytes = 0
 		st.macIdx++
 		st.flowletID++
-		vs.Stats.Flowcells++
+		vs.noteFlowcell(pathOf(st.macIdx), st.flowletID)
 	}
 	st.lastSeen = now
 	st.bytes += seg.Len()
 	seg.FlowcellID = st.flowletID
-	macs := vs.Mapping(seg.Flow.Dst.Host)
 	if len(macs) == 0 {
 		seg.DstMAC = packet.HostMAC(seg.Flow.Dst.Host)
 		return

@@ -13,8 +13,11 @@
 package vswitch
 
 import (
+	"fmt"
+
 	"presto/internal/packet"
 	"presto/internal/sim"
+	"presto/internal/telemetry"
 )
 
 // SegmentSender is the layer below the vSwitch (the NIC's TSO entry).
@@ -41,7 +44,7 @@ type Stats struct {
 	SegmentsIn  uint64
 	MACRewrites uint64 // shadow-MAC stampings (one memcpy each, §5)
 	MACRestores uint64 // receive-side label→real rewrites
-	Flowcells   uint64 // flowcell transitions observed
+	Flowcells   uint64 // flowcells emitted (each flow's first + every transition)
 }
 
 // VSwitch is one host's edge datapath.
@@ -62,6 +65,11 @@ type VSwitch struct {
 	// by the flow the endpoint *sends* on.
 	table map[packet.FlowKey]Endpoint
 
+	// pathCells counts flowcells emitted per path index (position in
+	// the label list); sums to Stats.Flowcells.
+	pathCells []uint64
+	tracer    *telemetry.Tracer
+
 	Stats Stats
 }
 
@@ -79,6 +87,50 @@ func New(eng *sim.Engine, h packet.HostID, out SegmentSender, policy Policy) *VS
 
 // Policy returns the active load-balancing policy.
 func (vs *VSwitch) Policy() Policy { return vs.policy }
+
+// SetTracer attaches a structured event tracer (nil disables tracing,
+// the default).
+func (vs *VSwitch) SetTracer(tr *telemetry.Tracer) { vs.tracer = tr }
+
+// noteFlowcell records that a new flowcell started on path pathIdx.
+// Policies call it for each flow's first flowcell and every
+// transition, so per-path counts sum to Stats.Flowcells.
+func (vs *VSwitch) noteFlowcell(pathIdx int, cell uint32) {
+	vs.Stats.Flowcells++
+	if pathIdx >= len(vs.pathCells) {
+		grown := make([]uint64, pathIdx+1)
+		copy(grown, vs.pathCells)
+		vs.pathCells = grown
+	}
+	vs.pathCells[pathIdx]++
+	vs.tracer.FlowcellEmit(vs.Eng.Now(), int32(vs.Host), cell, pathIdx)
+}
+
+// PathFlowcells returns the per-path flowcell counts (index = position
+// in the controller's label list; index 0 also covers unmapped
+// destinations).
+func (vs *VSwitch) PathFlowcells() []uint64 {
+	return append([]uint64(nil), vs.pathCells...)
+}
+
+// TelemetrySnapshot implements a telemetry probe over the datapath
+// counters.
+func (vs *VSwitch) TelemetrySnapshot() map[string]any {
+	perPath := make(map[string]any, len(vs.pathCells))
+	for i, n := range vs.pathCells {
+		perPath[fmt.Sprintf("%d", i)] = n
+	}
+	return map[string]any{
+		"policy":           vs.policy.Name(),
+		"segments_out":     vs.Stats.SegmentsOut,
+		"segments_in":      vs.Stats.SegmentsIn,
+		"mac_rewrites":     vs.Stats.MACRewrites,
+		"mac_restores":     vs.Stats.MACRestores,
+		"flowcells":        vs.Stats.Flowcells,
+		"path_flowcells":   perPath,
+		"registered_flows": uint64(len(vs.table)),
+	}
+}
 
 // SetSender installs the layer below (the NIC). Used at wiring time
 // when the NIC is constructed after the vSwitch.

@@ -16,6 +16,7 @@ import (
 	"presto/internal/cluster"
 	"presto/internal/packet"
 	"presto/internal/sim"
+	"presto/internal/telemetry"
 	"presto/internal/topo"
 )
 
@@ -85,6 +86,12 @@ type Options struct {
 	// system's natural choice (Figure 5 pairs Presto spraying with
 	// official GRO).
 	GROOverride cluster.GROKind
+
+	// Telemetry, when non-nil, wires event tracing and snapshot probes
+	// through the run's cluster; the run's snapshot is attached to the
+	// result. Nil (the default) adds zero overhead and leaves results
+	// bit-identical.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Options) fill() {
@@ -134,7 +141,7 @@ func OptimalTopo(hosts int) *topo.Topology {
 
 // buildCluster assembles a cluster for a system on a topology.
 func buildCluster(sys System, tp *topo.Topology, opt Options) *cluster.Cluster {
-	cfg := cluster.Config{Topology: tp, Seed: opt.Seed, GRO: opt.GROOverride}
+	cfg := cluster.Config{Topology: tp, Seed: opt.Seed, GRO: opt.GROOverride, Telemetry: opt.Telemetry}
 	switch sys {
 	case SysECMP, SysOptimal:
 		cfg.Scheme = cluster.ECMP
