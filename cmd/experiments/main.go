@@ -1,92 +1,100 @@
 // Command experiments regenerates every table and figure in the
-// paper's evaluation (§5, §6) on the simulator and prints the same
-// rows/series the paper reports. Absolute numbers differ from the
-// hardware testbed; the comparisons (who wins, by what factor) are
-// the reproduction target. See EXPERIMENTS.md for the side-by-side.
+// paper's evaluation (§5, §6) through the campaign runner: the
+// selected experiments expand into a grid of cells × seeds executed on
+// a bounded worker pool. Absolute numbers differ from the hardware
+// testbed; the comparisons (who wins, by what factor) are the
+// reproduction target. See EXPERIMENTS.md for the side-by-side and
+// the "Running campaigns" section for the artifact formats.
 //
-//	experiments -run all
-//	experiments -run fig7            # one experiment
+//	experiments -run all                      # every figure/table, GOMAXPROCS workers
+//	experiments -run fig7                     # one experiment
 //	experiments -run fig16 -duration 400ms
+//	experiments -run all -seeds 5 -parallel 8 # 5-seed envelopes, 8 workers
+//	experiments -run fig5 -gate testdata/golden/mini.json -update
+//
+// All progress and diagnostics stream to stderr; stdout carries only
+// the result document (-format table, json, or csv), so it can be
+// piped straight into a parser.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"presto"
-	"presto/internal/cluster"
-	"presto/internal/fabric"
-	"presto/internal/gro"
+	"presto/internal/campaign"
 	"presto/internal/metrics"
 	"presto/internal/sim"
-	"presto/internal/tcp"
 	"presto/internal/telemetry"
-	"presto/internal/workload"
 )
-
-var (
-	runFlag  = flag.String("run", "all", "experiment id (fig1, fig5, fig6, ..., table1, table2, ablations) or 'all'")
-	seed     = flag.Uint64("seed", 1, "random seed")
-	duration = flag.Duration("duration", 200*time.Millisecond, "measurement window per run (simulated)")
-	warmup   = flag.Duration("warmup", 50*time.Millisecond, "warmup per run (simulated)")
-	csvDir   = flag.String("csv", "", "directory to write raw CDF series as CSV (for replotting the figures)")
-
-	tracePath  = flag.String("trace", "", "write a Chrome trace-event file covering every run (one process per run)")
-	eventsPath = flag.String("events", "", "write the raw event log as JSON Lines")
-	snapPath   = flag.String("snapshot", "", "write the final telemetry snapshot JSON (probes namespaced run<N>/)")
-	verbose    = flag.Bool("v", false, "print the telemetry snapshot summary after all runs")
-	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile")
-	memProfile = flag.String("memprofile", "", "write a pprof heap profile")
-
-	// registry is shared by every run of the invocation; nil unless a
-	// telemetry flag is set.
-	registry *telemetry.Registry
-)
-
-// writeCDF dumps a distribution's CDF to <csvDir>/<name>.csv when -csv
-// is set.
-func writeCDF(name string, d *metrics.Dist) {
-	if *csvDir == "" || d == nil || d.N() == 0 {
-		return
-	}
-	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "csv:", err)
-		return
-	}
-	f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "csv:", err)
-		return
-	}
-	defer f.Close()
-	fmt.Fprintln(f, "value,fraction")
-	for _, pt := range d.CDF(512) {
-		fmt.Fprintf(f, "%g,%g\n", pt.Value, pt.Fraction)
-	}
-}
-
-func opt() presto.Options {
-	return presto.Options{
-		Seed:      *seed,
-		Duration:  sim.Time(duration.Nanoseconds()),
-		Warmup:    sim.Time(warmup.Nanoseconds()),
-		Telemetry: registry,
-	}
-}
-
-type experiment struct {
-	id, title string
-	run       func()
-}
 
 func main() {
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: exit code 0 on success, 1 on
+// failed cells or gate drift, 2 on usage/spec/IO errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runFlag  = fs.String("run", "all", "experiment selection: 'all' or comma-separated IDs (fig1, fig5, ..., table1, table2, ablations)")
+		seed     = fs.Uint64("seed", 1, "base random seed; replicas use seed, seed+1, ...")
+		seeds    = fs.Int("seeds", 1, "seed replicas per cell (envelopes report mean ±stddev across them)")
+		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = serial")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "wall-clock budget per cell replica (0 = none)")
+		duration = fs.Duration("duration", 200*time.Millisecond, "measurement window per run (simulated)")
+		warmup   = fs.Duration("warmup", 50*time.Millisecond, "warmup per run (simulated)")
+		format   = fs.String("format", "table", "stdout format: table (paper-style), json (campaign report), csv (envelope rows)")
+		outDir   = fs.String("out", "", "directory for campaign artifacts (report.json, report.csv, manifest.json)")
+		csvDir   = fs.String("csv", "", "directory to write raw CDF series as CSV (for replotting the figures)")
+		gatePath = fs.String("gate", "", "golden envelope file to compare against (regression gate)")
+		update   = fs.Bool("update", false, "with -gate: regenerate the golden file from this run instead of checking")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+
+		tracePath  = fs.String("trace", "", "write a Chrome trace-event file covering every run (one process per run)")
+		eventsPath = fs.String("events", "", "write the raw event log as JSON Lines")
+		snapPath   = fs.String("snapshot", "", "write the final telemetry snapshot JSON")
+		verbose    = fs.Bool("v", false, "print the telemetry snapshot summary to stderr after all runs")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, id := range presto.CampaignExperimentIDs() {
+			fmt.Fprintf(stdout, "%-10s %s\n", id, presto.CampaignExperimentTitle(id))
+		}
+		return 0
+	}
+	fail := func(what string, err error) int {
+		fmt.Fprintf(stderr, "%s: %v\n", what, err)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail("cpuprofile", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail("cpuprofile", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var registry *telemetry.Registry
 	if *tracePath != "" || *eventsPath != "" || *snapPath != "" || *verbose {
 		var tr *telemetry.Tracer
 		if *tracePath != "" || *eventsPath != "" {
@@ -94,406 +102,199 @@ func main() {
 		}
 		registry = telemetry.NewRegistry(tr)
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+
+	opt := presto.Options{
+		Duration: sim.Time(duration.Nanoseconds()),
+		Warmup:   sim.Time(warmup.Nanoseconds()),
+	}
+	// Per-run component probes and event traces share one registry and
+	// are only deterministic when the runs execute serially; at higher
+	// parallelism the registry still collects campaign-level probes.
+	if registry != nil {
+		if *parallel == 1 {
+			opt.Telemetry = registry
+		} else {
+			fmt.Fprintln(stderr, "note: per-run telemetry probes need -parallel 1; collecting campaign-level telemetry only")
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+	}
+
+	spec, err := presto.CampaignSpec(*runFlag, opt)
+	if err != nil {
+		return fail("spec", err)
+	}
+	spec.Seeds = campaign.Seeds(*seed, *seeds)
+	spec.Parallelism = *parallel
+	spec.CellTimeout = *timeout
+	spec.Progress = stderr
+	spec.Telemetry = registry
+
+	report, err := presto.RunCampaign(spec)
+	if err != nil {
+		return fail("campaign", err)
+	}
+
+	switch *format {
+	case "table":
+		renderReport(stdout, report, *seeds)
+	case "json":
+		if err := report.WriteJSON(stdout); err != nil {
+			return fail("json", err)
 		}
-		defer pprof.StopCPUProfile()
-	}
-	exps := []experiment{
-		{"fig1", "Flowlet sizes vs competing flows (500us gap)", fig1},
-		{"fig5", "GRO reordering microbenchmark (OOO counts, segment sizes)", fig5},
-		{"fig6", "Receiver CPU overhead at line rate", fig6},
-		{"fig7", "Scalability: throughput vs path count", fig7},
-		{"fig8", "Scalability: RTT distribution", fig8},
-		{"fig9", "Scalability: loss rate and fairness", fig9},
-		{"fig10", "Oversubscription: throughput", fig10},
-		{"fig11", "Oversubscription: RTT distribution", fig11},
-		{"fig12", "Oversubscription: loss rate and fairness", fig12},
-		{"fig13", "Flowlet switching vs Presto (stride)", fig13},
-		{"fig14", "Presto shadow-MAC vs Presto+ECMP (stride)", fig14},
-		{"fig15", "Elephant throughput across workloads", fig15},
-		{"fig16", "Mice FCT across workloads", fig16},
-		{"table1", "Trace-driven mice FCT (normalized to ECMP)", table1},
-		{"table2", "North-south cross traffic: east-west mice FCT", table2},
-		{"fig17", "Failure handling: throughput per stage", fig17},
-		{"fig18", "Failure handling: RTT per stage (bijection)", fig18},
-		{"ablations", "Design-choice ablations (flowcell size, GRO alpha, buffers, DCTCP, tunnels)", ablations},
-	}
-	want := strings.ToLower(*runFlag)
-	ran := 0
-	for _, e := range exps {
-		if want != "all" && want != e.id {
-			continue
+	case "csv":
+		if err := report.WriteCSV(stdout); err != nil {
+			return fail("csv", err)
 		}
-		fmt.Printf("==== %s: %s ====\n", e.id, e.title)
-		start := time.Now()
-		e.run()
-		fmt.Printf("---- (%v wall)\n\n", time.Since(start).Round(time.Millisecond))
-		ran++
+	default:
+		return fail("format", fmt.Errorf("unknown -format %q (table, json, csv)", *format))
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *runFlag)
-		os.Exit(2)
+
+	if *csvDir != "" {
+		if err := writeCDFs(*csvDir, report); err != nil {
+			return fail("csv dir", err)
+		}
 	}
-	exportTelemetry()
+	if *outDir != "" {
+		if err := report.WriteArtifacts(*outDir, gitDescribe()); err != nil {
+			return fail("artifacts", err)
+		}
+		fmt.Fprintf(stderr, "artifacts written to %s (report.json, report.csv, manifest.json)\n", *outDir)
+	}
+	if err := exportTelemetry(registry, *tracePath, *eventsPath, *snapPath, *verbose, stderr); err != nil {
+		return fail("telemetry", err)
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail("memprofile", err)
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail("memprofile", err)
 		}
 	}
+
+	code := 0
+	if failed := report.FailedReplicas(); len(failed) > 0 {
+		fmt.Fprintf(stderr, "%d replica(s) failed:\n", len(failed))
+		for _, f := range failed {
+			fmt.Fprintf(stderr, "  %s seed=%d: %s\n", f.Cell, f.Seed, f.Err)
+		}
+		code = 1
+	}
+
+	switch {
+	case *gatePath != "" && *update:
+		golden := campaign.GoldenFromReport(report, 0.02)
+		if err := golden.Save(*gatePath); err != nil {
+			return fail("gate update", err)
+		}
+		fmt.Fprintf(stderr, "golden envelopes written to %s (spec %s)\n", *gatePath, report.SpecHash)
+	case *gatePath != "":
+		golden, err := campaign.LoadGolden(*gatePath)
+		if err != nil {
+			return fail("gate", err)
+		}
+		drifts, err := golden.Check(report)
+		if err != nil {
+			return fail("gate", err)
+		}
+		if len(drifts) > 0 {
+			fmt.Fprintf(stderr, "regression gate FAILED: %d metric(s) drifted beyond tolerance:\n", len(drifts))
+			for _, d := range drifts {
+				fmt.Fprintf(stderr, "  %s\n", d)
+			}
+			fmt.Fprintf(stderr, "(intentional change? regenerate with -gate %s -update)\n", *gatePath)
+			code = 1
+		} else {
+			fmt.Fprintf(stderr, "regression gate passed: %d cells within tolerance of %s\n", len(report.Cells), *gatePath)
+		}
+	}
+	return code
 }
 
-// exportTelemetry writes the shared registry's outputs once every
-// requested experiment has run.
-func exportTelemetry() {
-	if registry == nil {
-		return
+// gitDescribe stamps the manifest with the repository state; empty
+// outside a git checkout.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
 	}
-	tr := registry.Tracer()
-	fail := func(what string, err error) {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
-		os.Exit(2)
+	return strings.TrimSpace(string(out))
+}
+
+// writeCDFs dumps every cell's merged sample distributions as
+// <dir>/<cell>_<dist>.csv ("/" and "=" sanitized for filenames).
+func writeCDFs(dir string, r *campaign.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
 	}
-	if *tracePath != "" {
-		if err := telemetry.WriteFile(*tracePath, tr.WriteChromeTrace); err != nil {
-			fail("trace", err)
+	sanitize := strings.NewReplacer("/", "_", "=", "-", "+", "")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		for _, name := range c.DistNames() {
+			d := c.Dist(name)
+			if d == nil || d.N() == 0 {
+				continue
+			}
+			f, err := os.Create(filepath.Join(dir, sanitize.Replace(c.ID)+"_"+name+".csv"))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(f, "value,fraction")
+			for _, pt := range d.CDF(512) {
+				fmt.Fprintf(f, "%g,%g\n", pt.Value, pt.Fraction)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 	}
-	if *eventsPath != "" {
-		if err := telemetry.WriteFile(*eventsPath, tr.WriteJSONL); err != nil {
-			fail("events", err)
+	return nil
+}
+
+// exportTelemetry writes the registry's outputs once the campaign has
+// finished; the -v summary goes to stderr with the other diagnostics.
+func exportTelemetry(registry *telemetry.Registry, tracePath, eventsPath, snapPath string, verbose bool, stderr io.Writer) error {
+	if registry == nil {
+		return nil
+	}
+	tr := registry.Tracer()
+	if tracePath != "" {
+		if err := telemetry.WriteFile(tracePath, tr.WriteChromeTrace); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if eventsPath != "" {
+		if err := telemetry.WriteFile(eventsPath, tr.WriteJSONL); err != nil {
+			return fmt.Errorf("events: %w", err)
 		}
 	}
 	snap := registry.Snapshot(0)
-	if *snapPath != "" {
-		if err := telemetry.WriteFile(*snapPath, snap.WriteJSON); err != nil {
-			fail("snapshot", err)
+	if snapPath != "" {
+		if err := telemetry.WriteFile(snapPath, snap.WriteJSON); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
 		}
 	}
-	if *verbose {
-		fmt.Print(snap.Summary())
+	if verbose {
+		fmt.Fprint(stderr, snap.Summary())
 	}
+	return nil
 }
 
-func pctRow(d *metrics.Dist) string {
-	if d == nil || d.N() == 0 {
-		return "n=0"
-	}
-	return fmt.Sprintf("p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f max=%.3f (n=%d)",
-		d.Percentile(50), d.Percentile(90), d.Percentile(99), d.Percentile(99.9), d.Max(), d.N())
-}
-
-func fig1() {
-	for _, competing := range []int{1, 2, 3, 4, 6, 8} {
-		r := presto.RunFlowletSizes(competing, 500*sim.Microsecond, 32<<20, opt())
-		fmt.Printf("competing=%d flowlets=%d largest-fraction=%.2f top sizes (MB):", competing, r.Count, r.LargestFraction)
-		for _, s := range r.TopSizes {
-			fmt.Printf(" %.2f", s)
+// metricsTable renders the generic fallback for an experiment: one row
+// per cell × metric envelope.
+func metricsTable(w io.Writer, cells []*campaign.CellResult) {
+	tb := metrics.Table{Header: []string{"cell", "metric", "value"}}
+	for _, c := range cells {
+		names := make([]string, 0, len(c.Envelopes))
+		for k := range c.Envelopes {
+			names = append(names, k)
 		}
-		fmt.Println()
-	}
-}
-
-func fig5() {
-	off := presto.RunGROMicrobench(true, opt())
-	pre := presto.RunGROMicrobench(false, opt())
-	fmt.Println("(a) out-of-order segment count exposed to TCP:")
-	fmt.Printf("  Official GRO: %s\n", pctRow(off.OOOCounts))
-	fmt.Printf("  Presto GRO:   %s\n", pctRow(pre.OOOCounts))
-	fmt.Println("(b) pushed segment size (KB):")
-	fmt.Printf("  Official GRO: mean=%.1f %s\n", off.SegSizes.Mean(), pctRow(off.SegSizes))
-	fmt.Printf("  Presto GRO:   mean=%.1f %s\n", pre.SegSizes.Mean(), pctRow(pre.SegSizes))
-	fmt.Printf("throughput: official=%.2f Gbps @ %.0f%% CPU, presto=%.2f Gbps @ %.0f%% CPU\n",
-		off.MeanTput, off.CPUUtil*100, pre.MeanTput, pre.CPUUtil*100)
-	fmt.Println("(paper: official 4.6 Gbps @ 86%, presto 9.3 Gbps @ 69%)")
-}
-
-func fig6() {
-	pre := presto.RunCPUOverhead(true, opt())
-	off := presto.RunCPUOverhead(false, opt())
-	fmt.Printf("Official GRO (no reordering): mean CPU %.1f%% at %.2f Gbps\n", off.Mean, off.MeanTput)
-	fmt.Printf("Presto GRO (flowcell spraying): mean CPU %.1f%% at %.2f Gbps\n", pre.Mean, pre.MeanTput)
-	fmt.Printf("overhead: +%.1f%% (paper: +6%%)\n", pre.Mean-off.Mean)
-}
-
-var scaleSystems = []presto.System{presto.SysECMP, presto.SysMPTCP, presto.SysPresto, presto.SysOptimal}
-
-func fig7() {
-	tb := metrics.Table{Header: []string{"paths", "ECMP", "MPTCP", "Presto", "Optimal"}}
-	for paths := 2; paths <= 8; paths++ {
-		row := []string{fmt.Sprint(paths)}
-		for _, sys := range scaleSystems {
-			r := presto.RunScalability(sys, paths, opt())
-			row = append(row, fmt.Sprintf("%.2f", r.MeanTput))
-		}
-		tb.AddRow(row...)
-	}
-	fmt.Print("avg flow throughput (Gbps):\n" + tb.String())
-}
-
-func fig8() {
-	fmt.Println("RTT (ms) in the 8-path scalability benchmark:")
-	for _, sys := range scaleSystems {
-		r := presto.RunScalability(sys, 8, opt())
-		fmt.Printf("  %-8v %s\n", sys, pctRow(r.RTT))
-		fmt.Print(metrics.RenderQuantileBars(r.RTT, []float64{50, 90, 99, 99.9}, 40, "ms"))
-		writeCDF("fig8_rtt_"+sys.String(), r.RTT)
-	}
-}
-
-func fig9() {
-	tb := metrics.Table{Header: []string{"paths", "scheme", "loss%", "fairness"}}
-	for _, paths := range []int{2, 4, 8} {
-		for _, sys := range scaleSystems {
-			r := presto.RunScalability(sys, paths, opt())
-			tb.AddRow(fmt.Sprint(paths), sys.String(),
-				fmt.Sprintf("%.4f", r.LossRate*100), fmt.Sprintf("%.3f", r.Fairness))
+		sort.Strings(names)
+		for _, k := range names {
+			tb.AddRow(strings.TrimPrefix(c.ID, c.Experiment+"/"), k, c.Envelopes[k].String())
 		}
 	}
-	fmt.Print(tb.String())
-}
-
-func fig10() {
-	tb := metrics.Table{Header: []string{"oversub", "ECMP", "MPTCP", "Presto", "Optimal"}}
-	for _, flows := range []int{2, 4, 6, 8} {
-		row := []string{fmt.Sprintf("%.1f", float64(flows)/2)}
-		for _, sys := range scaleSystems {
-			r := presto.RunOversubscription(sys, flows, opt())
-			row = append(row, fmt.Sprintf("%.2f", r.MeanTput))
-		}
-		tb.AddRow(row...)
-	}
-	fmt.Print("avg flow throughput (Gbps):\n" + tb.String())
-}
-
-func fig11() {
-	fmt.Println("RTT (ms) at oversubscription 4:1 (8 flows, 2 spines):")
-	for _, sys := range []presto.System{presto.SysECMP, presto.SysMPTCP, presto.SysPresto} {
-		r := presto.RunOversubscription(sys, 8, opt())
-		fmt.Printf("  %-8v %s\n", sys, pctRow(r.RTT))
-		writeCDF("fig11_rtt_"+sys.String(), r.RTT)
-	}
-}
-
-func fig12() {
-	tb := metrics.Table{Header: []string{"oversub", "scheme", "loss%", "fairness"}}
-	for _, flows := range []int{2, 4, 8} {
-		for _, sys := range []presto.System{presto.SysECMP, presto.SysMPTCP, presto.SysPresto} {
-			r := presto.RunOversubscription(sys, flows, opt())
-			tb.AddRow(fmt.Sprintf("%.1f", float64(flows)/2), sys.String(),
-				fmt.Sprintf("%.4f", r.LossRate*100), fmt.Sprintf("%.3f", r.Fairness))
-		}
-	}
-	fmt.Print(tb.String())
-}
-
-func fig13() {
-	fmt.Println("stride workload, flowlet switching vs Presto:")
-	for _, sys := range []presto.System{presto.SysFlowlet100, presto.SysFlowlet500, presto.SysPresto} {
-		r := presto.RunWorkload(sys, presto.Stride, opt())
-		fmt.Printf("  %-14v tput=%.2f Gbps  RTT %s\n", sys, r.MeanTput, pctRow(r.RTT))
-		writeCDF("fig13_rtt_"+sys.String(), r.RTT)
-	}
-	fmt.Println("(paper: 4.3 / 7.6 / 9.3 Gbps; Presto cuts 99.9p RTT 2-3.6x)")
-}
-
-func fig14() {
-	for _, sys := range []presto.System{presto.SysPrestoECMP, presto.SysPresto} {
-		r := presto.RunWorkload(sys, presto.Stride, opt())
-		fmt.Printf("  %-12v tput=%.2f Gbps  RTT %s\n", sys, r.MeanTput, pctRow(r.RTT))
-	}
-	fmt.Println("(paper: Presto+ECMP 8.9 vs Presto 9.3 Gbps, worse tail RTT)")
-}
-
-var workloads = []presto.WorkloadKind{presto.Shuffle, presto.Random, presto.Stride, presto.Bijection}
-
-func fig15() {
-	tb := metrics.Table{Header: []string{"workload", "ECMP", "MPTCP", "Presto", "Optimal"}}
-	for _, w := range workloads {
-		row := []string{w.String()}
-		for _, sys := range scaleSystems {
-			r := presto.RunWorkload(sys, w, opt())
-			row = append(row, fmt.Sprintf("%.2f", r.MeanTput))
-		}
-		tb.AddRow(row...)
-	}
-	fmt.Print("elephant throughput (Gbps):\n" + tb.String())
-}
-
-func fig16() {
-	for _, w := range []presto.WorkloadKind{presto.Stride, presto.Bijection, presto.Shuffle} {
-		fmt.Printf("mice FCT (ms), %v workload:\n", w)
-		for _, sys := range scaleSystems {
-			r := presto.RunWorkload(sys, w, opt())
-			fmt.Printf("  %-8v %s timeouts=%d\n", sys, pctRow(r.FCT), r.MiceTimeouts)
-			writeCDF(fmt.Sprintf("fig16_fct_%v_%v", w, sys), r.FCT)
-		}
-	}
-}
-
-func table1() {
-	systems := []presto.System{presto.SysECMP, presto.SysOptimal, presto.SysPresto}
-	results := map[presto.System]presto.TraceResult{}
-	for _, sys := range systems {
-		results[sys] = presto.RunTrace(sys, opt())
-	}
-	base := results[presto.SysECMP].MiceFCT
-	tb := metrics.Table{Header: []string{"percentile", "ECMP", "Optimal", "Presto"}}
-	for _, p := range []float64{50, 90, 99, 99.9} {
-		row := []string{fmt.Sprintf("%g%%", p)}
-		for _, sys := range systems {
-			v := results[sys].MiceFCT.Percentile(p)
-			if sys == presto.SysECMP {
-				row = append(row, "1.0")
-			} else if b := base.Percentile(p); b > 0 {
-				row = append(row, fmt.Sprintf("%+.0f%%", (v/b-1)*100))
-			} else {
-				row = append(row, "n/a")
-			}
-		}
-		tb.AddRow(row...)
-	}
-	fmt.Print("mice (<100KB) FCT normalized to ECMP (paper: Presto -9/-32/-56/-60%):\n" + tb.String())
-	fmt.Printf("elephant tput (Gbps): ECMP=%.2f Optimal=%.2f Presto=%.2f\n",
-		results[presto.SysECMP].ElephantTput, results[presto.SysOptimal].ElephantTput, results[presto.SysPresto].ElephantTput)
-}
-
-func table2() {
-	systems := []presto.System{presto.SysECMP, presto.SysMPTCP, presto.SysPresto, presto.SysOptimal}
-	results := map[presto.System]presto.NorthSouthResult{}
-	for _, sys := range systems {
-		results[sys] = presto.RunNorthSouth(sys, opt())
-	}
-	base := results[presto.SysECMP].MiceFCT
-	tb := metrics.Table{Header: []string{"percentile", "ECMP", "MPTCP", "Presto", "Optimal"}}
-	for _, p := range []float64{50, 90, 99, 99.9} {
-		row := []string{fmt.Sprintf("%g%%", p)}
-		for _, sys := range systems {
-			r := results[sys]
-			if sys == presto.SysECMP {
-				row = append(row, "1.0")
-				continue
-			}
-			if r.MiceFCT.N() == 0 {
-				row = append(row, "n/a")
-				continue
-			}
-			v := r.MiceFCT.Percentile(p)
-			if b := base.Percentile(p); b > 0 {
-				row = append(row, fmt.Sprintf("%+.0f%%", (v/b-1)*100))
-			} else {
-				row = append(row, "n/a")
-			}
-		}
-		tb.AddRow(row...)
-	}
-	fmt.Print("east-west mice FCT normalized to ECMP (paper: Presto -20/-79/-86/-87%):\n" + tb.String())
-	fmt.Printf("east-west tput (Gbps): ")
-	for _, sys := range systems {
-		fmt.Printf("%v=%.2f ", sys, results[sys].MeanTput)
-	}
-	fmt.Println("\n(paper: 5.7 / 7.4 / 8.2 / 8.9 Gbps)")
-}
-
-func fig17() {
-	tb := metrics.Table{Header: []string{"workload", "symmetry", "failover", "weighted"}}
-	for _, w := range []presto.FailoverWorkload{presto.FailL1L4, presto.FailL4L1, presto.FailStride, presto.FailBijection} {
-		r := presto.RunFailover(w, opt())
-		tb.AddRow(w.String(),
-			fmt.Sprintf("%.2f", r.SymmetryTput),
-			fmt.Sprintf("%.2f", r.FailoverTput),
-			fmt.Sprintf("%.2f", r.WeightedTput))
-	}
-	fmt.Print("Presto throughput per failure stage (Gbps):\n" + tb.String())
-}
-
-func fig18() {
-	r := presto.RunFailover(presto.FailBijection, opt())
-	fmt.Println("Presto RTT (ms) per failure stage, random bijection:")
-	fmt.Printf("  symmetry: %s\n", pctRow(r.SymmetryRTT))
-	fmt.Printf("  failover: %s\n", pctRow(r.FailoverRTT))
-	fmt.Printf("  weighted: %s\n", pctRow(r.WeightedRTT))
-	writeCDF("fig18_rtt_symmetry", r.SymmetryRTT)
-	writeCDF("fig18_rtt_failover", r.FailoverRTT)
-	writeCDF("fig18_rtt_weighted", r.WeightedRTT)
-}
-
-// ablations prints the design-choice sweeps DESIGN.md calls out,
-// using the same miniature harness as bench_ablation_test.go.
-func ablations() {
-	runStride := func(mut func(*cluster.Config)) (gbps float64, c *cluster.Cluster) {
-		cfg := cluster.Config{Topology: presto.Testbed(), Scheme: cluster.Presto, Seed: *seed, Telemetry: registry}
-		if mut != nil {
-			mut(&cfg)
-		}
-		c = cluster.New(cfg)
-		el := workload.Stride(c, 8)
-		c.Eng.Run(20 * sim.Millisecond)
-		el.ResetBaseline(c.Eng.Now())
-		c.Eng.Run(90 * sim.Millisecond)
-		return el.Mean(c.Eng.Now()), c
-	}
-
-	fmt.Println("flowcell size (stride, Gbps/flow):")
-	for _, kb := range []int{16, 32, 64, 128, 256} {
-		g, _ := runStride(func(cfg *cluster.Config) { cfg.FlowcellBytes = kb << 10 })
-		fmt.Printf("  %3d KB: %.2f\n", kb, g)
-	}
-
-	fmt.Println("GRO hold multiplier alpha (stride, Gbps/flow, false-loss fires):")
-	for _, a := range []float64{0.5, 1, 2, 4} {
-		g, c := runStride(func(cfg *cluster.Config) { cfg.GROConfig = gro.PrestoConfig{Alpha: a} })
-		var fires uint64
-		for _, h := range c.Hosts {
-			fires += h.NIC.GRO().Stats().TimeoutFires
-		}
-		fmt.Printf("  alpha=%-4g %.2f Gbps  %d timeouts\n", a, g, fires)
-	}
-
-	fmt.Println("switch buffer depth (stride, Gbps/flow, loss%):")
-	for _, kb := range []int{256, 512, 2048, 8192} {
-		g, c := runStride(func(cfg *cluster.Config) { cfg.Fabric = fabric.Config{SwitchQueueBytes: kb << 10} })
-		fmt.Printf("  %4d KB: %.2f Gbps  %.4f%% loss\n", kb, g, c.Net.LossRate()*100)
-	}
-
-	fmt.Println("congestion control (stride, Gbps/flow):")
-	for _, cc := range []string{"cubic", "reno", "dctcp"} {
-		g, _ := runStride(func(cfg *cluster.Config) {
-			cfg.TCP = tcp.Config{CC: cc}
-			if cc == "dctcp" {
-				cfg.Fabric = fabric.Config{ECNThresholdBytes: 200 << 10}
-			}
-		})
-		fmt.Printf("  %-6s %.2f\n", cc, g)
-	}
-
-	fmt.Println("label mode (stride, Gbps/flow, leaf rules):")
-	for _, tunnel := range []bool{false, true} {
-		g, c := runStride(func(cfg *cluster.Config) { cfg.Ctrl.TunnelMode = tunnel })
-		rules := 0
-		for _, leaf := range c.Topo.Leaves {
-			rules += c.Net.Switch(leaf).LabelCount()
-		}
-		name := "per-host"
-		if tunnel {
-			name = "tunnel"
-		}
-		fmt.Printf("  %-8s %.2f Gbps  %d rules\n", name, g, rules)
-	}
+	fmt.Fprint(w, tb.String())
 }

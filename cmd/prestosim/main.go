@@ -4,6 +4,11 @@
 //
 //	prestosim -system presto -workload stride -duration 200ms
 //	prestosim -system ecmp -workload bijection -seed 7
+//	prestosim -system presto -workload stride -seeds 5   # mean ±stddev over 5 seeds
+//
+// With -seeds N > 1 the run is replicated over seeds seed..seed+N-1 on
+// the campaign worker pool (-parallel workers) and every metric is
+// reported as a mean/stddev/min–max envelope.
 //
 // Observability flags: -trace writes a Chrome trace-event file (open
 // in Perfetto / chrome://tracing), -events a JSON Lines event log,
@@ -19,10 +24,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"presto"
+	"presto/internal/campaign"
 	"presto/internal/sim"
 	"presto/internal/telemetry"
 )
@@ -41,7 +48,9 @@ func run(args []string, stdout io.Writer) error {
 		workload   = fs.String("workload", "stride", "stride | shuffle | random | bijection")
 		duration   = fs.Duration("duration", 200*time.Millisecond, "measurement window (simulated)")
 		warmup     = fs.Duration("warmup", 50*time.Millisecond, "warmup before measurement (simulated)")
-		seed       = fs.Uint64("seed", 1, "random seed")
+		seed       = fs.Uint64("seed", 1, "random seed (base seed with -seeds > 1)")
+		seeds      = fs.Int("seeds", 1, "seed replicas; > 1 reports mean ±stddev envelopes per metric")
+		parallel   = fs.Int("parallel", 0, "worker pool size for -seeds > 1; 0 = GOMAXPROCS")
 		tracePath  = fs.String("trace", "", "write Chrome trace-event JSON to this file")
 		eventsPath = fs.String("events", "", "write the raw event log as JSON Lines to this file")
 		snapPath   = fs.String("snapshot", "", "write the telemetry snapshot JSON to this file")
@@ -92,6 +101,10 @@ func run(args []string, stdout io.Writer) error {
 		Telemetry: reg,
 	}
 
+	if *seeds > 1 {
+		return runReplicated(stdout, sys, kind, opt, *seed, *seeds, *parallel)
+	}
+
 	start := time.Now()
 	res := presto.RunWorkload(sys, kind, opt)
 	elapsed := time.Since(start)
@@ -127,6 +140,40 @@ func run(args []string, stdout io.Writer) error {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runReplicated executes the system × workload as a one-cell campaign
+// over N seeds and prints per-metric envelopes.
+func runReplicated(stdout io.Writer, sys presto.System, kind presto.WorkloadKind, opt presto.Options, seed uint64, seeds, parallel int) error {
+	// Per-run telemetry registries are not safe across concurrent
+	// replicas; the single-seed path keeps full telemetry support.
+	opt.Telemetry = nil
+	spec := &campaign.Spec{
+		Name:        "prestosim",
+		Cells:       []campaign.Cell{presto.WorkloadCell(sys, kind, opt)},
+		Seeds:       campaign.Seeds(seed, seeds),
+		Parallelism: parallel,
+		Progress:    os.Stderr,
+	}
+	report, err := presto.RunCampaign(spec)
+	if err != nil {
+		return err
+	}
+	if failed := report.FailedReplicas(); len(failed) > 0 {
+		return fmt.Errorf("%d replica(s) failed, first: %s seed=%d: %s", len(failed), failed[0].Cell, failed[0].Seed, failed[0].Err)
+	}
+	cell := &report.Cells[0]
+	fmt.Fprintf(stdout, "system=%v workload=%v seeds=%d..%d (n=%d)\n", sys, kind, seed, seed+uint64(seeds)-1, seeds)
+	names := make([]string, 0, len(cell.Envelopes))
+	for k := range cell.Envelopes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		e := cell.Envelopes[k]
+		fmt.Fprintf(stdout, "  %-16s %s\n", k, e.String())
 	}
 	return nil
 }

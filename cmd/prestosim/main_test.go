@@ -148,3 +148,32 @@ func TestRunTraceExport(t *testing.T) {
 		t.Fatalf("-v summary missing:\n%s", out.String())
 	}
 }
+
+// TestRunSeedReplicas checks -seeds N prints per-metric envelopes and
+// that replicated output is deterministic across -parallel settings.
+func TestRunSeedReplicas(t *testing.T) {
+	replicated := func(parallel string) string {
+		var out bytes.Buffer
+		err := run([]string{
+			"-system", "presto", "-workload", "stride",
+			"-warmup", "5ms", "-duration", "10ms",
+			"-seeds", "3", "-parallel", parallel,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := replicated("1")
+	if !strings.Contains(serial, "seeds=1..3 (n=3)") {
+		t.Fatalf("missing seed range header:\n%s", serial)
+	}
+	for _, metric := range []string{"tput_gbps", "loss_pct", "fairness"} {
+		if !strings.Contains(serial, metric) {
+			t.Errorf("envelope output missing %s:\n%s", metric, serial)
+		}
+	}
+	if got := replicated("4"); got != serial {
+		t.Errorf("-parallel 4 output differs from -parallel 1:\n--- serial ---\n%s--- parallel ---\n%s", serial, got)
+	}
+}

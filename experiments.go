@@ -40,6 +40,7 @@ func (w WorkloadKind) String() string {
 // LoadResult is the common output of throughput/latency experiments.
 type LoadResult struct {
 	System       System
+	Seed         uint64        // the RNG seed the run used (replay: pass it back via Options.Seed)
 	MeanTput     float64       // average per-flow goodput, Gbps
 	RTT          *metrics.Dist // probe round-trip times, ms
 	FCT          *metrics.Dist // mice flow completion times, ms
@@ -124,7 +125,7 @@ func measureLoad(sys System, c *cluster.Cluster, el *workload.Elephants, probers
 		el.ResetBaseline(c.Eng.Now())
 	}
 	c.Eng.Run(opt.Warmup + opt.Duration)
-	res := LoadResult{System: sys, LossRate: c.Net.LossRate(), Fairness: 1}
+	res := LoadResult{System: sys, Seed: opt.Seed, LossRate: c.Net.LossRate(), Fairness: 1}
 	if el != nil {
 		res.MeanTput = el.Mean(c.Eng.Now())
 		res.Fairness = el.Fairness(c.Eng.Now())
@@ -149,6 +150,7 @@ func pairsOf(el *workload.Elephants) [][2]packet.HostID {
 // GROResult is the Figure 5 microbenchmark output.
 type GROResult struct {
 	Official bool
+	Seed     uint64 // RNG seed of the run
 	// OOOCounts is the per-flowcell out-of-order segment count
 	// distribution exposed to TCP (Figure 5a; all-zero = masked).
 	OOOCounts *metrics.Dist
@@ -188,7 +190,7 @@ func RunGROMicrobench(official bool, opt Options) GROResult {
 	start := c.Eng.Now()
 	c.Eng.Run(opt.Warmup + opt.Duration)
 
-	res := GROResult{Official: official, OOOCounts: &metrics.Dist{}, SegSizes: &metrics.Dist{}}
+	res := GROResult{Official: official, Seed: opt.Seed, OOOCounts: &metrics.Dist{}, SegSizes: &metrics.Dist{}}
 	res.MeanTput = el.Mean(c.Eng.Now())
 	var util float64
 	for i, conn := range el.Conns {
@@ -209,6 +211,7 @@ func RunGROMicrobench(official bool, opt Options) GROResult {
 // time at line rate.
 type CPUResult struct {
 	Presto   bool
+	Seed     uint64         // RNG seed of the run
 	Series   metrics.Series // (seconds, mean receiver utilization)
 	Mean     float64
 	MeanTput float64
@@ -228,7 +231,7 @@ func RunCPUOverhead(prestoGRO bool, opt Options) CPUResult {
 	c := buildCluster(sys, tp, opt)
 	el := workload.Stride(c, 8)
 
-	res := CPUResult{Presto: prestoGRO}
+	res := CPUResult{Presto: prestoGRO, Seed: opt.Seed}
 	sample := 10 * sim.Millisecond
 	lastBusy := make([]sim.Time, len(c.Hosts))
 	var tick func()
@@ -261,6 +264,7 @@ func RunCPUOverhead(prestoGRO bool, opt Options) CPUResult {
 // FlowletSizeResult is the Figure 1 output.
 type FlowletSizeResult struct {
 	Competing int
+	Seed      uint64 // RNG seed of the run
 	// TopSizes holds the ten largest flowlet sizes in MB, descending.
 	TopSizes []float64
 	// LargestFraction is the share of the transfer carried by the
@@ -302,7 +306,7 @@ func RunFlowletSizes(competing int, gap sim.Time, transferBytes int, opt Options
 	})
 	sizes := fl.FlowletSizes(conn.Flows()[0])
 	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
-	res := FlowletSizeResult{Competing: competing, Count: len(sizes)}
+	res := FlowletSizeResult{Competing: competing, Seed: opt.Seed, Count: len(sizes)}
 	total := 0
 	for _, s := range sizes {
 		total += s
@@ -322,6 +326,7 @@ func RunFlowletSizes(competing int, gap sim.Time, transferBytes int, opt Options
 // TraceResult is the Table 1 output.
 type TraceResult struct {
 	System       System
+	Seed         uint64        // RNG seed of the run
 	MiceFCT      *metrics.Dist // ms
 	ElephantTput float64       // mean Gbps of >1 MB flows
 	Flows        int
@@ -343,6 +348,7 @@ func RunTrace(sys System, opt Options) TraceResult {
 	c.Eng.Run(until + 100*sim.Millisecond) // drain stragglers
 	return TraceResult{
 		System:       sys,
+		Seed:         opt.Seed,
 		MiceFCT:      &tr.MiceFCT,
 		ElephantTput: tr.ElephantTps.Mean(),
 		Flows:        tr.Flows,
@@ -352,6 +358,7 @@ func RunTrace(sys System, opt Options) TraceResult {
 // NorthSouthResult is the Table 2 output.
 type NorthSouthResult struct {
 	System       System
+	Seed         uint64        // RNG seed of the run
 	MiceFCT      *metrics.Dist // east-west mice, ms
 	MeanTput     float64       // east-west elephants, Gbps
 	MiceTimeouts int
@@ -387,6 +394,7 @@ func RunNorthSouth(sys System, opt Options) NorthSouthResult {
 	c.Eng.Run(until)
 	return NorthSouthResult{
 		System:       sys,
+		Seed:         opt.Seed,
 		MiceFCT:      &mice.FCT,
 		MeanTput:     el.Mean(c.Eng.Now()),
 		MiceTimeouts: mice.Timeouts,
@@ -423,6 +431,7 @@ func (f FailoverWorkload) String() string {
 // the S1-L1 link dies.
 type FailoverResult struct {
 	Workload FailoverWorkload
+	Seed     uint64 // RNG seed of the run
 	// Mean per-flow goodput (Gbps) in each stage.
 	SymmetryTput, FailoverTput, WeightedTput float64
 	// RTT distributions (ms) per stage.
@@ -454,7 +463,7 @@ func RunFailover(w FailoverWorkload, opt Options) FailoverResult {
 		stage = 20 * sim.Millisecond
 	}
 
-	res := FailoverResult{Workload: w}
+	res := FailoverResult{Workload: w, Seed: opt.Seed}
 	// Stage 1: symmetry.
 	c.Eng.Run(opt.Warmup)
 	el.ResetBaseline(c.Eng.Now())

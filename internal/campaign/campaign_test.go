@@ -1,0 +1,377 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"presto/internal/metrics"
+	"presto/internal/telemetry"
+)
+
+// synthCell builds a deterministic cell whose metrics are a pure
+// function of (id, seed), with a scheduling-dependent sleep to shake
+// out ordering races under parallelism.
+func synthCell(exp string, i int) Cell {
+	id := fmt.Sprintf("%s/point=%d", exp, i)
+	return Cell{
+		Experiment: exp,
+		ID:         id,
+		Run: func(seed uint64) (Result, error) {
+			time.Sleep(time.Duration(i%3) * time.Millisecond)
+			base := float64(i+1) * 10
+			d := &metrics.Dist{}
+			for k := 0; k < 5; k++ {
+				d.Add(base + float64(seed) + float64(k))
+			}
+			return Result{
+				Metrics: Values{
+					"tput":  base + float64(seed)*0.5,
+					"loss":  math.Mod(float64(seed)*0.01, 1),
+					"const": 42,
+				},
+				Dists: map[string]*metrics.Dist{"rtt": d},
+			}, nil
+		},
+	}
+}
+
+func synthSpec(n int, seeds []uint64, parallelism int) *Spec {
+	cells := make([]Cell, 0, n)
+	for i := 0; i < n; i++ {
+		cells = append(cells, synthCell("synth", i))
+	}
+	return &Spec{Name: "synth", Cells: cells, Seeds: seeds, Parallelism: parallelism}
+}
+
+// artifactBytes renders the byte-stable artifacts (report JSON + CSV).
+func artifactBytes(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterministicAcrossParallelism pins the tentpole invariant:
+// aggregated artifacts are byte-identical no matter how many workers
+// executed the grid. Run under -race in CI.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	seeds := Seeds(7, 3)
+	serial, err := Run(synthSpec(24, seeds, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifactBytes(t, serial)
+	for _, workers := range []int{2, 8} {
+		par, err := Run(synthSpec(24, seeds, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := artifactBytes(t, par); !bytes.Equal(got, want) {
+			t.Errorf("parallel=%d artifacts differ from serial (%d vs %d bytes)", workers, len(got), len(want))
+		}
+	}
+}
+
+func TestEnvelopeAggregation(t *testing.T) {
+	e := envelope([]float64{1, 2, 3, 4})
+	if e.Mean != 2.5 || e.Min != 1 || e.Max != 4 || e.N != 4 {
+		t.Errorf("envelope = %+v", e)
+	}
+	if want := math.Sqrt(1.25); math.Abs(e.Stddev-want) > 1e-12 {
+		t.Errorf("stddev %g, want %g", e.Stddev, want)
+	}
+	if got := envelope([]float64{5}).String(); got != "5" {
+		t.Errorf("single-replica string %q", got)
+	}
+}
+
+func TestMergedDistsAcrossSeeds(t *testing.T) {
+	rep, err := Run(synthSpec(1, Seeds(1, 4), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Cells[0].Dist("rtt")
+	if d == nil || d.N() != 20 {
+		t.Fatalf("merged dist n=%v, want 20 (5 samples × 4 seeds)", d.N())
+	}
+	if names := rep.Cells[0].DistNames(); len(names) != 1 || names[0] != "rtt" {
+		t.Errorf("dist names %v", names)
+	}
+}
+
+// TestPanicDoesNotTakeDownSiblings covers the worker-pool failure
+// path: a panicking replica is recorded with its error while every
+// sibling cell completes normally.
+func TestPanicDoesNotTakeDownSiblings(t *testing.T) {
+	spec := synthSpec(6, Seeds(1, 2), 4)
+	spec.Cells[2].Run = func(seed uint64) (Result, error) {
+		if seed == 2 {
+			panic("boom")
+		}
+		return Result{Metrics: Values{"tput": 1}}, nil
+	}
+	var progress bytes.Buffer
+	spec.Progress = &progress
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := rep.FailedReplicas()
+	if len(failed) != 1 {
+		t.Fatalf("failed = %+v, want exactly the panicking replica", failed)
+	}
+	f := failed[0]
+	if f.Cell != spec.Cells[2].ID || f.Seed != 2 || !strings.Contains(f.Err, "panic: boom") {
+		t.Errorf("failure record = %+v", f)
+	}
+	if !rep.Cells[2].Failed() {
+		t.Error("cell with panicking replica not marked failed")
+	}
+	// The cell's surviving seed still aggregates.
+	if e, ok := rep.Envelope(spec.Cells[2].ID, "tput"); !ok || e.N != 1 {
+		t.Errorf("surviving replica envelope = %+v ok=%v", e, ok)
+	}
+	for i, c := range rep.Cells {
+		if i != 2 && c.Failed() {
+			t.Errorf("sibling cell %s failed", c.ID)
+		}
+	}
+	if !strings.Contains(progress.String(), "FAIL") {
+		t.Error("progress stream missing FAIL line")
+	}
+	// The failure lands in the manifest too.
+	m := rep.Manifest("")
+	if len(m.Failed) != 1 || m.Failed[0].Cell != spec.Cells[2].ID {
+		t.Errorf("manifest failed = %+v", m.Failed)
+	}
+}
+
+// TestTimeoutReportedAsFailure covers the other failure path: a
+// replica exceeding CellTimeout is abandoned and recorded, siblings
+// unaffected.
+func TestTimeoutReportedAsFailure(t *testing.T) {
+	spec := synthSpec(3, nil, 3)
+	release := make(chan struct{})
+	spec.Cells[1].Run = func(seed uint64) (Result, error) {
+		<-release
+		return Result{}, nil
+	}
+	spec.CellTimeout = 20 * time.Millisecond
+	rep, err := Run(spec)
+	close(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := rep.FailedReplicas()
+	if len(failed) != 1 || failed[0].Cell != spec.Cells[1].ID || !strings.Contains(failed[0].Err, "timeout") {
+		t.Fatalf("failed = %+v, want one timeout on cell 1", failed)
+	}
+	if rep.Cells[0].Failed() || rep.Cells[2].Failed() {
+		t.Error("sibling cells affected by timeout")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(&Spec{Name: "empty"}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	dup := synthSpec(2, nil, 1)
+	dup.Cells[1].ID = dup.Cells[0].ID
+	if _, err := Run(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate IDs accepted (err=%v)", err)
+	}
+}
+
+func TestSeedsHelper(t *testing.T) {
+	got := Seeds(5, 3)
+	if len(got) != 3 || got[0] != 5 || got[2] != 7 {
+		t.Errorf("Seeds(5,3) = %v", got)
+	}
+	if got := Seeds(1, 0); len(got) != 1 {
+		t.Errorf("Seeds(1,0) = %v", got)
+	}
+}
+
+func TestSpecHashSensitivity(t *testing.T) {
+	a := synthSpec(3, Seeds(1, 2), 1)
+	b := synthSpec(3, Seeds(1, 2), 8) // execution knob: same hash
+	if a.Hash() != b.Hash() {
+		t.Error("parallelism changed the spec hash")
+	}
+	c := synthSpec(4, Seeds(1, 2), 1) // extra cell: new hash
+	if a.Hash() == c.Hash() {
+		t.Error("cell grid change did not change the spec hash")
+	}
+	d := synthSpec(3, Seeds(2, 2), 1) // different seeds: new hash
+	if a.Hash() == d.Hash() {
+		t.Error("seed change did not change the spec hash")
+	}
+	e := synthSpec(3, Seeds(1, 2), 1)
+	e.Params = map[string]string{"duration": "40ms"}
+	if a.Hash() == e.Hash() {
+		t.Error("param change did not change the spec hash")
+	}
+}
+
+func TestGoldenGate(t *testing.T) {
+	rep, err := Run(synthSpec(4, Seeds(1, 2), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GoldenFromReport(rep, 0.02)
+
+	// A fresh identical run passes.
+	drifts, err := g.Check(rep)
+	if err != nil || len(drifts) != 0 {
+		t.Fatalf("self-check: drifts=%v err=%v", drifts, err)
+	}
+
+	// Round-trip through JSON.
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := &Golden{}
+	if err := json.Unmarshal(buf.Bytes(), g2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb one golden value beyond tolerance: exactly that metric
+	// drifts, with a populated diff.
+	id := rep.Cells[1].ID
+	g2.Cells[id]["tput"] *= 1.10
+	drifts, err = g2.Check(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drifts) != 1 || drifts[0].Cell != id || drifts[0].Metric != "tput" {
+		t.Fatalf("drifts = %+v, want one on %s/tput", drifts, id)
+	}
+	if d := drifts[0]; d.RelDiff < 0.05 || d.Tolerance != 0.02 || d.Missing {
+		t.Errorf("drift detail = %+v", d)
+	}
+	if s := drifts[0].String(); !strings.Contains(s, "tput") || !strings.Contains(s, "tolerance") {
+		t.Errorf("drift string %q", s)
+	}
+
+	// A per-metric tolerance override absorbs the same perturbation.
+	g2.Tolerances = map[string]float64{"tput": 0.25}
+	if drifts, _ := g2.Check(rep); len(drifts) != 0 {
+		t.Errorf("tolerance override ignored: %v", drifts)
+	}
+
+	// Golden rows missing from the report are drifts too.
+	g3 := GoldenFromReport(rep, 0.02)
+	g3.Cells["synth/point=0"]["vanished"] = 1
+	drifts, _ = g3.Check(rep)
+	if len(drifts) != 1 || !drifts[0].Missing {
+		t.Errorf("missing metric not flagged: %v", drifts)
+	}
+
+	// A report from a different spec is refused outright.
+	other, err := Run(synthSpec(5, Seeds(1, 2), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Check(other); err == nil {
+		t.Error("spec hash mismatch not detected")
+	}
+}
+
+func TestGoldenZeroValueIsAbsolute(t *testing.T) {
+	g := &Golden{DefaultTolerance: 0.05, Cells: map[string]map[string]float64{"c": {"m": 0}}}
+	rep := &Report{Cells: []CellResult{{ID: "c", Envelopes: map[string]Envelope{"m": {Mean: 0.04, N: 1}}}}}
+	if drifts, _ := g.Check(rep); len(drifts) != 0 {
+		t.Errorf("0.04 vs golden 0 at abs tol 0.05 drifted: %v", drifts)
+	}
+	rep.Cells[0].Envelopes["m"] = Envelope{Mean: 0.06, N: 1}
+	if drifts, _ := g.Check(rep); len(drifts) != 1 {
+		t.Errorf("0.06 vs golden 0 at abs tol 0.05 passed")
+	}
+}
+
+func TestCSVParses(t *testing.T) {
+	rep, err := Run(synthSpec(3, Seeds(1, 2), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 3 cells × 3 metrics
+	if len(rows) != 1+9 {
+		t.Errorf("csv rows = %d, want 10", len(rows))
+	}
+	if rows[0][0] != "experiment" || len(rows[0]) != 8 {
+		t.Errorf("csv header = %v", rows[0])
+	}
+}
+
+func TestTelemetryProbe(t *testing.T) {
+	reg := telemetry.NewRegistry(nil)
+	spec := synthSpec(4, Seeds(1, 2), 2)
+	spec.Telemetry = reg
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot(0)
+	probe, ok := snap.Components["campaign"]
+	if !ok {
+		t.Fatal("no campaign probe registered")
+	}
+	if probe["replicas_done"] != 8 || probe["replicas_failed"] != 0 {
+		t.Errorf("probe = %v", probe)
+	}
+	if _, ok := probe["slowest.1"]; !ok {
+		t.Errorf("probe missing slowest cells: %v", probe)
+	}
+	u, _ := probe["utilization"].(float64)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	rep, err := Run(synthSpec(2, nil, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := rep.WriteArtifacts(dir, "v1.2.3-test"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"report.json", "report.csv", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.GitDescribe != "v1.2.3-test" || m.Replicas != 2 || m.Cells != 2 || m.Workers != 1 {
+		t.Errorf("manifest = %+v", m)
+	}
+}

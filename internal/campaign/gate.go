@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Golden is a checked-in envelope snapshot a fresh campaign run is
+// gated against: per-cell per-metric means with tolerances. Regenerate
+// with `cmd/experiments ... -gate <file> -update` after intentional
+// behaviour changes.
+type Golden struct {
+	// SpecHash pins the spec (cells, seeds, params) the snapshot was
+	// taken from; Check refuses a report with a different hash rather
+	// than diffing incomparable numbers.
+	SpecHash string `json:"spec_hash"`
+	// DefaultTolerance is the relative drift allowed per metric when
+	// Tolerances has no entry. When a golden value is 0 the comparison
+	// is absolute instead.
+	DefaultTolerance float64 `json:"default_tolerance"`
+	// Tolerances overrides the default per metric name.
+	Tolerances map[string]float64 `json:"tolerances,omitempty"`
+	// Cells maps cell ID → metric → golden mean.
+	Cells map[string]map[string]float64 `json:"cells"`
+}
+
+// GoldenFromReport snapshots a report's envelope means.
+func GoldenFromReport(r *Report, defaultTolerance float64) *Golden {
+	g := &Golden{
+		SpecHash:         r.SpecHash,
+		DefaultTolerance: defaultTolerance,
+		Cells:            make(map[string]map[string]float64, len(r.Cells)),
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if len(c.Envelopes) == 0 {
+			continue
+		}
+		m := make(map[string]float64, len(c.Envelopes))
+		for k, e := range c.Envelopes {
+			m[k] = e.Mean
+		}
+		g.Cells[c.ID] = m
+	}
+	return g
+}
+
+// LoadGolden reads a golden file.
+func LoadGolden(path string) (*Golden, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g := &Golden{}
+	if err := json.Unmarshal(data, g); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// WriteJSON writes the golden as indented JSON (deterministic: maps
+// are key-sorted by encoding/json).
+func (g *Golden) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// Save writes the golden to path, creating parent directories.
+func (g *Golden) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Drift is one golden violation.
+type Drift struct {
+	Cell, Metric string
+	Golden, Got  float64
+	// RelDiff is |got-golden|/|golden| (absolute diff when golden is 0).
+	RelDiff   float64
+	Tolerance float64
+	// Missing means the fresh report lacks the cell or metric entirely
+	// (e.g. the cell failed).
+	Missing bool
+}
+
+func (d Drift) String() string {
+	if d.Missing {
+		return fmt.Sprintf("%s %s: missing from report (golden %g)", d.Cell, d.Metric, d.Golden)
+	}
+	return fmt.Sprintf("%s %s: golden=%g got=%g drift=%.2f%% (tolerance %.2f%%)",
+		d.Cell, d.Metric, d.Golden, d.Got, d.RelDiff*100, d.Tolerance*100)
+}
+
+// tolerance resolves the allowed drift for a metric.
+func (g *Golden) tolerance(metric string) float64 {
+	if t, ok := g.Tolerances[metric]; ok {
+		return t
+	}
+	return g.DefaultTolerance
+}
+
+// Check compares a fresh report against the golden envelopes and
+// returns every per-metric drift beyond tolerance, in sorted (cell,
+// metric) order. It errors without comparing when the report was
+// produced by a different spec.
+func (g *Golden) Check(r *Report) ([]Drift, error) {
+	if g.SpecHash != "" && g.SpecHash != r.SpecHash {
+		return nil, fmt.Errorf("spec hash mismatch: golden %s vs report %s (different -run/-seeds/-duration flags? regenerate with -update)",
+			g.SpecHash, r.SpecHash)
+	}
+	var drifts []Drift
+	cells := make([]string, 0, len(g.Cells))
+	for id := range g.Cells {
+		cells = append(cells, id)
+	}
+	sort.Strings(cells)
+	for _, id := range cells {
+		want := g.Cells[id]
+		names := make([]string, 0, len(want))
+		for k := range want {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		cell := r.Cell(id)
+		for _, metric := range names {
+			golden := want[metric]
+			tol := g.tolerance(metric)
+			if cell == nil {
+				drifts = append(drifts, Drift{Cell: id, Metric: metric, Golden: golden, Tolerance: tol, Missing: true})
+				continue
+			}
+			e, ok := cell.Envelopes[metric]
+			if !ok {
+				drifts = append(drifts, Drift{Cell: id, Metric: metric, Golden: golden, Tolerance: tol, Missing: true})
+				continue
+			}
+			diff := math.Abs(e.Mean - golden)
+			rel := diff
+			if golden != 0 {
+				rel = diff / math.Abs(golden)
+			}
+			if rel > tol {
+				drifts = append(drifts, Drift{Cell: id, Metric: metric, Golden: golden, Got: e.Mean, RelDiff: rel, Tolerance: tol})
+			}
+		}
+	}
+	return drifts, nil
+}
