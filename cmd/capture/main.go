@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -76,16 +77,22 @@ func main() {
 	conn.SetUnlimited(true)
 	bg := c.Dial(1, 3)
 	bg.SetUnlimited(true)
-	c.Eng.Run(sim.Time(duration.Nanoseconds()))
+	c.Eng.Run(sim.FromDuration(*duration))
 
 	fmt.Printf("captured %d frames to %s (%v simulated)\n\n", w.Count(), *out, *duration)
 	a := trace.Analyze(recs)
-	for _, fs := range a.Flows {
+	flows := make([]packet.FlowKey, 0, len(a.Flows))
+	for f := range a.Flows {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].String() < flows[j].String() })
+	for _, f := range flows {
+		fs := a.Flows[f]
 		fmt.Printf("flow %v:\n", fs.Flow)
 		fmt.Printf("  %d packets, %d bytes, %.2f Gbps goodput\n", fs.Packets, fs.Bytes, fs.Goodput())
 		fmt.Printf("  %d flowcells, %.1f%% packets reordered, %d retransmissions\n",
 			fs.Flowcells, fs.ReorderFraction()*100, fs.Retransmissions)
-		sizes := trace.Flowlets(recs, fs.Flow, sim.Time(gap.Nanoseconds()))
+		sizes := trace.Flowlets(recs, fs.Flow, sim.FromDuration(*gap))
 		if len(sizes) > 1 {
 			fmt.Printf("  %d flowlets at a %v gap; largest %d bytes\n", len(sizes), *gap, maxInt(sizes))
 		}

@@ -104,8 +104,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opt := presto.Options{
-		Duration: sim.Time(duration.Nanoseconds()),
-		Warmup:   sim.Time(warmup.Nanoseconds()),
+		Duration: sim.FromDuration(*duration),
+		Warmup:   sim.FromDuration(*warmup),
 	}
 	// Per-run component probes and event traces share one registry and
 	// are only deterministic when the runs execute serially; at higher

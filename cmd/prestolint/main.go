@@ -1,0 +1,296 @@
+// Command prestolint is the repository's custom vet tool: it runs the
+// internal/analysis suite (simclock, maporder, niltracer, simtime)
+// over packages handed to it by the go command. Invoke it through go
+// vet so the build system supplies type information:
+//
+//	go build -o /tmp/prestolint ./cmd/prestolint
+//	go vet -vettool=/tmp/prestolint ./...
+//
+// It speaks the same driver protocol as
+// golang.org/x/tools/go/analysis/unitchecker — the -V=full and -flags
+// handshakes plus a JSON vet.cfg per package — but is implemented
+// entirely on the standard library (go/parser, go/types, go/importer)
+// so it builds offline with no module downloads.
+//
+// Additional modes:
+//
+//	prestolint -suppressions [dir ...]
+//	    list every //prestolint:allow annotation under the given
+//	    directories (default .), sorted, so suppressions stay
+//	    auditable
+//	prestolint -list
+//	    print the analyzer names and documentation
+//
+// Diagnostics go to stderr as "file:line:col: [analyzer] message",
+// sorted by position; the exit status is 2 when any diagnostic is
+// reported, 1 on operational errors, 0 otherwise.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"presto/internal/analysis"
+	"presto/internal/analysis/suite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prestolint: ")
+
+	versionFlag := flag.String("V", "", "print version information (go vet handshake; only -V=full is supported)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's analyzer flags as JSON (go vet handshake)")
+	suppressionsFlag := flag.Bool("suppressions", false, "list //prestolint:allow annotations under the given directories")
+	listFlag := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		if *versionFlag != "full" {
+			log.Fatalf("unsupported flag -V=%s", *versionFlag)
+		}
+		printVersion()
+	case *flagsFlag:
+		// No user-settable analyzer flags; the empty set tells go vet
+		// to reject any flags it would otherwise forward.
+		fmt.Println("[]")
+	case *listFlag:
+		for _, az := range suite.Analyzers() {
+			fmt.Printf("%s: %s\n", az.Name, az.Doc)
+		}
+	case *suppressionsFlag:
+		dirs := flag.Args()
+		if len(dirs) == 0 {
+			dirs = []string{"."}
+		}
+		if err := listSuppressions(dirs); err != nil {
+			log.Fatal(err)
+		}
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
+		runVet(flag.Arg(0))
+	default:
+		log.Fatalf("usage: go vet -vettool=$(which prestolint) ./... | prestolint -suppressions [dir ...] | prestolint -list")
+	}
+}
+
+// printVersion implements the go command's -V=full tool-identity
+// handshake: the output must be "<name> version devel ... buildID=<id>"
+// so the content hash of the binary keys go vet's action cache.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel buildID=%x\n", exe, h.Sum(nil))
+}
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// package it asks a vet tool to check.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The suite exports no cross-package facts, so dependency passes
+	// (VetxOnly) have nothing to compute: record the empty fact set so
+	// go vet can cache the result and move on.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("prestolint: no facts\n"), 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.NewTypesInfo()
+	var typeErr error
+	conf := types.Config{
+		Importer:  newVetImporter(fset, cfg),
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if typeErr == nil {
+		typeErr = err
+	}
+	if typeErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		log.Fatalf("type-checking %s: %v", cfg.ImportPath, typeErr)
+	}
+
+	pkg := &analysis.Package{
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		ImportPath: cfg.ImportPath,
+	}
+	diags, err := analysis.RunAnalyzers(pkg, suite.Analyzers())
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		os.Exit(2)
+	}
+}
+
+// vetImporter resolves imports from the export-data files listed in
+// the vet config, using the compiler importer from the standard
+// library.
+type vetImporter struct {
+	cfg  *vetConfig
+	base types.Importer
+}
+
+func newVetImporter(fset *token.FileSet, cfg *vetConfig) *vetImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	return &vetImporter{cfg: cfg, base: importer.ForCompiler(fset, compiler, lookup)}
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := v.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return v.base.Import(path)
+}
+
+// listSuppressions prints every //prestolint:allow annotation found
+// under dirs, sorted by file and line, so the exception list stays
+// reviewable. Purely syntactic: no type information needed.
+func listSuppressions(dirs []string) error {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				switch d.Name() {
+				case ".git", "vendor":
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sups := analysis.CollectSuppressions(fset, files)
+	sort.Slice(sups, func(i, j int) bool {
+		if sups[i].File != sups[j].File {
+			return sups[i].File < sups[j].File
+		}
+		return sups[i].Line < sups[j].Line
+	})
+	for _, s := range sups {
+		reason := s.Reason
+		if reason == "" {
+			reason = "(no reason given)"
+		}
+		fmt.Printf("%s:%d: allow %s -- %s\n", s.File, s.Line, strings.Join(s.Names, ","), reason)
+	}
+	fmt.Printf("%d suppression(s)\n", len(sups))
+	return nil
+}

@@ -1,0 +1,122 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the prestolint binary into a temp dir and returns
+// its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "prestolint")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building prestolint: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// vet runs `go vet -vettool=tool pkgs...` inside the fixture module
+// and returns the combined output plus the exit code.
+func vet(t *testing.T, tool string, pkgs ...string) (string, int) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "vetmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"vet", "-vettool=" + tool}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// The fixture module has no dependencies; force module mode and
+	// keep the run hermetic even if the environment sets GOFLAGS.
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GO111MODULE=on")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running go vet: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestVettoolFlagsBadPackage drives the real go vet -vettool pipeline
+// against a known-bad fixture module and checks both the exit status
+// and the diagnostic text.
+func TestVettoolFlagsBadPackage(t *testing.T) {
+	tool := buildTool(t)
+	out, code := vet(t, tool, "./badclock")
+	if code == 0 {
+		t.Fatalf("go vet on bad fixture exited 0; output:\n%s", out)
+	}
+	for _, want := range []string{
+		"[simclock]",
+		"time.Now",
+		"rand.Intn",
+		"badclock.go",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("go vet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVettoolPassesCleanPackage checks the clean fixture package comes
+// back with exit status 0 and no diagnostics.
+func TestVettoolPassesCleanPackage(t *testing.T) {
+	tool := buildTool(t)
+	out, code := vet(t, tool, "./clean")
+	if code != 0 {
+		t.Fatalf("go vet on clean fixture exited %d:\n%s", code, out)
+	}
+	if strings.Contains(out, "[simclock]") {
+		t.Errorf("unexpected diagnostics on clean package:\n%s", out)
+	}
+}
+
+// TestVersionHandshake checks the -V=full tool-identity handshake the
+// go command uses to key its action cache.
+func TestVersionHandshake(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[1] != "version" ||
+		!strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Errorf("-V=full output %q does not match \"<name> version ... buildID=<id>\"", out)
+	}
+}
+
+// TestFlagsHandshake checks the -flags handshake prints a JSON array.
+func TestFlagsHandshake(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-flags").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-flags: %v\n%s", err, out)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Errorf("-flags printed %q, want []", got)
+	}
+}
+
+// TestSuppressionsListing checks the suppression audit mode finds the
+// repo's own annotations and reports them with file positions.
+func TestSuppressionsListing(t *testing.T) {
+	tool := buildTool(t)
+	cmd := exec.Command(tool, "-suppressions", "testdata/vetmod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("-suppressions: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 suppression(s)") {
+		t.Errorf("-suppressions on fixture module = %q, want 0 suppressions", out)
+	}
+}

@@ -1,0 +1,19 @@
+// Package badclock is a known-bad fixture for the prestolint driver
+// test: it is not a harness package, so its wall-clock and global-rand
+// uses must be reported through the real go vet -vettool pipeline.
+package badclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock in simulator-layer code.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Draw uses the global, seed-independent rand stream.
+func Draw() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,14 @@
+// Package clean is a fixture package with nothing to report: the
+// driver test asserts go vet -vettool exits zero on it.
+package clean
+
+import "time"
+
+// Timeout is an inert duration value; constructing durations is fine,
+// only reading or waiting on the wall clock is banned.
+const Timeout = 50 * time.Millisecond
+
+// Scale multiplies a duration without touching the clock.
+func Scale(d time.Duration, n int) time.Duration {
+	return d * time.Duration(n)
+}

@@ -96,8 +96,8 @@ func run(args []string, stdout io.Writer) error {
 
 	opt := presto.Options{
 		Seed:      *seed,
-		Duration:  sim.Time(duration.Nanoseconds()),
-		Warmup:    sim.Time(warmup.Nanoseconds()),
+		Duration:  sim.FromDuration(*duration),
+		Warmup:    sim.FromDuration(*warmup),
 		Telemetry: reg,
 	}
 

@@ -1,3 +1,8 @@
 module presto
 
 go 1.22
+
+// Tool dependency (see tools.go): staticcheck 2025.1.1. Only the
+// tools-tagged file imports it, so ordinary builds and tests never
+// download it.
+require honnef.co/go/tools v0.6.1

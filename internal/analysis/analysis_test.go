@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestNormalizeImportPath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"presto/internal/sim", "presto/internal/sim"},
+		{"presto/internal/campaign [presto/internal/campaign.test]", "presto/internal/campaign"},
+		{"presto/internal/campaign.test", "presto/internal/campaign"},
+		{"presto/internal/gro_test [presto/internal/gro.test]", "presto/internal/gro"},
+		{"presto.test", "presto"},
+	}
+	for _, c := range cases {
+		if got := NormalizeImportPath(c.in); got != c.want {
+			t.Errorf("NormalizeImportPath(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHarnessExempt(t *testing.T) {
+	exempt := []string{
+		"presto/cmd/prestosim",
+		"presto/cmd/experiments [presto/cmd/experiments.test]",
+		"presto/examples/quickstart",
+		"presto/internal/campaign",
+		"badfixture/cmd/tool",
+	}
+	for _, p := range exempt {
+		if !HarnessExempt(p) {
+			t.Errorf("HarnessExempt(%q) = false, want true", p)
+		}
+	}
+	notExempt := []string{
+		"presto",
+		"presto/internal/sim",
+		"presto/internal/telemetry",
+		"presto/internal/gro [presto/internal/gro.test]",
+		"simcore",
+	}
+	for _, p := range notExempt {
+		if HarnessExempt(p) {
+			t.Errorf("HarnessExempt(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestCollectSuppressions(t *testing.T) {
+	src := `package p
+
+func f() {
+	//prestolint:allow wallclock -- profiling only
+	_ = 1
+	_ = 2 //prestolint:allow maporder,simtime
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sups := CollectSuppressions(fset, []*ast.File{f})
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2: %+v", len(sups), sups)
+	}
+	first, second := sups[0], sups[1]
+	if first.Line != 4 || len(first.Names) != 1 || first.Names[0] != "wallclock" {
+		t.Errorf("first suppression = %+v, want line 4 names [wallclock]", first)
+	}
+	if first.Reason != "profiling only" {
+		t.Errorf("first suppression reason = %q, want %q", first.Reason, "profiling only")
+	}
+	if second.Line != 6 || len(second.Names) != 2 ||
+		second.Names[0] != "maporder" || second.Names[1] != "simtime" {
+		t.Errorf("second suppression = %+v, want line 6 names [maporder simtime]", second)
+	}
+}

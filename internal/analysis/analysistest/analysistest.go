@@ -1,0 +1,221 @@
+// Package analysistest runs prestolint analyzers against fixture
+// packages under testdata/src, checking reported diagnostics against
+// `// want` comments — a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout mirrors the upstream tool: each fixture package lives in
+// testdata/src/<importpath>/ and is loaded with a GOPATH-style
+// resolver, so fixtures can import each other by bare path (e.g. a
+// maporder fixture importing a local "telemetry" package). Standard
+// library imports are type-checked from $GOROOT/src via the compiler
+// "source" importer, which needs no pre-built export data and works
+// offline.
+//
+// Expectations are written on the line they apply to:
+//
+//	time.Now() // want `time\.Now`
+//
+// Each backquoted or double-quoted string after `want` is a regexp
+// that must match one diagnostic reported on that line; lines with no
+// want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"presto/internal/analysis"
+)
+
+// Run loads each fixture package from testdata/src/<pkg> relative to
+// the calling test's directory, runs az over it, and reports
+// mismatches between diagnostics and want comments as test errors.
+func Run(t *testing.T, az *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, pkgPath := range pkgs {
+		pkg, err := l.load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{az})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", az.Name, pkgPath, err)
+		}
+		check(t, l.fset, pkg, diags)
+	}
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range pkg.Files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, rx := range parseWant(t, filename, fset.Position(c.Pos()).Line, c.Text) {
+					k := lineKey{filename, fset.Position(c.Pos()).Line}
+					wants[k] = append(wants[k], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		var found bool
+		for _, exp := range wants[k] {
+			if !exp.matched && exp.rx.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q was not reported", k.file, k.line, exp.rx)
+			}
+		}
+	}
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// parseWant extracts the quoted regexps from a `// want "..." ...`
+// comment (nil if the comment is not a want comment).
+func parseWant(t *testing.T, filename string, line int, comment string) []*regexp.Regexp {
+	m := wantRe.FindStringSubmatch(comment)
+	if m == nil {
+		return nil
+	}
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			t.Fatalf("%s:%d: malformed want comment at %q (expected quoted regexp)", filename, line, rest)
+		}
+		end := strings.IndexByte(rest[1:], rest[0])
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated quote in want comment", filename, line)
+		}
+		pattern := rest[1 : 1+end]
+		rx, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", filename, line, pattern, err)
+		}
+		out = append(out, rx)
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	return out
+}
+
+// loader resolves fixture packages from a testdata/src root, falling
+// back to the source importer for the standard library.
+type loader struct {
+	fset   *token.FileSet
+	srcdir string
+	std    types.Importer
+	cache  map[string]*analysis.Package
+	info   *types.Info
+}
+
+func newLoader(srcdir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		srcdir: srcdir,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[string]*analysis.Package),
+		info:   analysis.NewTypesInfo(),
+	}
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &analysis.Package{
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       l.info,
+		ImportPath: path,
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: fixture-local packages win,
+// everything else is standard library loaded from source.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.srcdir, filepath.FromSlash(path))); err == nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,296 @@
+// Package maporder flags ranging over a map when the loop body performs
+// order-sensitive effects.
+//
+// Go randomizes map iteration order, so a map-range loop that emits
+// telemetry events, writes to an encoder or writer, or appends to a
+// slice the function returns produces a different artifact on every
+// run — exactly the nondeterminism the campaign runner's byte-identical
+// replay guarantee forbids. Order-insensitive bodies stay clean:
+// reductions into scalars (+=, min/max, counting), writes into other
+// maps, deletes, and the collect-keys-then-sort idiom — whether the
+// sorted slice is consumed locally or returned, a sort after the loop
+// erases the map's iteration order.
+//
+// The fix is mechanical: collect the keys, sort them, range over the
+// sorted slice. Where iteration order provably cannot reach an
+// artifact, annotate with //prestolint:allow maporder -- reason.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"presto/internal/analysis"
+)
+
+// Analyzer is the maporder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops whose body emits telemetry, writes to " +
+		"encoders/writers, or appends to returned slices; map iteration order " +
+		"is randomized, so such loops make run artifacts nondeterministic",
+	// Test-failure message ordering is noise, not artifact
+	// nondeterminism; results always flow through non-test code.
+	SkipTestFiles: true,
+	Run:           run,
+}
+
+// writerMethods are method names whose calls serialize data in call
+// order (io.Writer, strings.Builder, json.Encoder, ...).
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+}
+
+// writerFuncs are package-level printing functions keyed by package
+// path.
+var writerFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Print": true, "Printf": true, "Println": true,
+	},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var funcStack []ast.Node // enclosing FuncDecl/FuncLit chain
+		returned := make(map[ast.Node]map[types.Object]bool)
+
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				var body *ast.BlockStmt
+				if fd, ok := n.(*ast.FuncDecl); ok {
+					body = fd.Body
+				} else {
+					body = n.(*ast.FuncLit).Body
+				}
+				returned[n] = returnedObjects(pass, n, body)
+				if body != nil {
+					ast.Inspect(body, walk)
+				}
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				var ret map[types.Object]bool
+				var encl ast.Node
+				if len(funcStack) > 0 {
+					encl = funcStack[len(funcStack)-1]
+					ret = returned[encl]
+				}
+				checkBody(pass, n, ret, encl)
+				return true
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+// returnedObjects collects the variables fn's result values can refer
+// to: named results plus plain identifiers appearing in return
+// statements. Appending to one of these inside a map-range loop bakes
+// iteration order into the function's output.
+func returnedObjects(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	var results *ast.FieldList
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		results = fn.Type.Results
+	case *ast.FuncLit:
+		results = fn.Type.Results
+	}
+	if results != nil {
+		for _, field := range results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	if body == nil {
+		return objs
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested function's returns are its own
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := res.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+func checkBody(pass *analysis.Pass, rng *ast.RangeStmt, returned map[types.Object]bool, encl ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.AssignStmt:
+			checkAppend(pass, n, returned, rng, encl)
+		}
+		return true
+	})
+}
+
+// checkCall flags telemetry emits and serializing writes.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		// Method call: check the receiver's defining package and the
+		// method name.
+		if named := namedOf(s.Recv()); named != nil {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Name() == "telemetry" {
+				pass.Reportf(call.Pos(),
+					"telemetry emit inside map iteration: %s.%s records events in randomized map order; iterate a sorted key slice (or //prestolint:allow maporder -- reason)",
+					named.Obj().Name(), sel.Sel.Name)
+				return
+			}
+		}
+		if writerMethods[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"write inside map iteration: %s serializes in randomized map order; iterate a sorted key slice (or //prestolint:allow maporder -- reason)",
+				sel.Sel.Name)
+		}
+		return
+	}
+	// Package-qualified call.
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Name() == "telemetry" {
+		pass.Reportf(call.Pos(),
+			"telemetry emit inside map iteration: %s.%s records events in randomized map order; iterate a sorted key slice (or //prestolint:allow maporder -- reason)",
+			fn.Pkg().Name(), fn.Name())
+		return
+	}
+	if names, ok := writerFuncs[fn.Pkg().Path()]; ok && names[fn.Name()] {
+		pass.Reportf(call.Pos(),
+			"write inside map iteration: %s.%s emits output in randomized map order; iterate a sorted key slice (or //prestolint:allow maporder -- reason)",
+			fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkAppend flags x = append(x, ...) where x escapes through a
+// return statement, unless the function sorts x after the loop (the
+// collect-keys-then-sort idiom applied to the returned slice itself).
+func checkAppend(pass *analysis.Pass, assign *ast.AssignStmt, returned map[types.Object]bool, rng *ast.RangeStmt, encl ast.Node) {
+	if len(returned) == 0 {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) {
+			continue
+		}
+		if i >= len(assign.Lhs) {
+			break
+		}
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj != nil && returned[obj] && !sortedAfter(pass, encl, rng.End(), obj) {
+			pass.Reportf(assign.Pos(),
+				"append to returned slice %s inside map iteration bakes randomized map order into the result; sort it before returning (or //prestolint:allow maporder -- reason)",
+				id.Name)
+		}
+	}
+}
+
+// sortedAfter reports whether the enclosing function sorts obj after
+// the map-range loop ends — a call into the sort or slices package
+// whose first argument is obj (sort.Strings(x), sort.Slice(x, less),
+// slices.SortFunc(x, cmp), ...). An intervening sort erases the map's
+// iteration order, so the append is deterministic after all.
+func sortedAfter(pass *analysis.Pass, encl ast.Node, after token.Pos, obj types.Object) bool {
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"presto/internal/analysis/analysistest"
+	"presto/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "mapuse")
+}

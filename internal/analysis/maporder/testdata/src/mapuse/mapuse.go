@@ -1,0 +1,115 @@
+// Package mapuse is a maporder fixture: map-range loops with
+// order-sensitive bodies are flagged, order-insensitive ones are not.
+package mapuse
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"telemetry"
+)
+
+// Bad: emitting telemetry in map order.
+func EmitAll(tr *telemetry.Tracer, m map[string]int64) {
+	for _, v := range m {
+		tr.Emit(v) // want `telemetry emit inside map iteration`
+	}
+}
+
+// Bad: serializing in map order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `write inside map iteration`
+	}
+}
+
+// Bad: string assembly in map order.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `write inside map iteration`
+	}
+	return b.String()
+}
+
+// Bad: the returned slice's element order is the map's iteration
+// order.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to returned slice`
+	}
+	return keys
+}
+
+// Good: the canonical fix — collect, sort, then iterate.
+func SortedKeys(m map[string]int) []string {
+	collected := make([]string, 0, len(m))
+	for k := range m {
+		collected = append(collected, k)
+	}
+	sort.Strings(collected)
+	out := make([]string, 0, len(collected))
+	for _, k := range collected {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Good: appending to the returned slice is fine when an intervening
+// sort erases the map's iteration order before the return.
+func SortedReturn(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Good: sort.Slice with a comparator also counts as an intervening
+// sort.
+func SortedBySize(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return len(names[i]) < len(names[j]) })
+	return names
+}
+
+// Good: order-insensitive reduction into a scalar.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Good: writing into another map is order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Good: deleting while sweeping is order-insensitive.
+func Sweep(m map[string]int, limit int) {
+	for k, v := range m {
+		if v > limit {
+			delete(m, k)
+		}
+	}
+}
+
+// The escape hatch: an annotated loop is not reported.
+func Debug(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) //prestolint:allow maporder -- fixture: debug output, never an artifact
+	}
+}

@@ -1,0 +1,16 @@
+// Package telemetry is a fixture stand-in for the simulator's
+// telemetry layer, used by the maporder fixtures.
+package telemetry
+
+// Tracer buffers events; nil is the disabled state.
+type Tracer struct {
+	events []int64
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(a int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, a)
+}

@@ -1,0 +1,163 @@
+// Package niltracer enforces the telemetry layer's disabled-state
+// contract: a nil *Tracer (and nil *Registry) is the off switch, so
+// every exported method on a pointer receiver in the telemetry package
+// must be safe to call on nil.
+//
+// A method satisfies the contract in one of two ways:
+//
+//   - it opens with a nil-receiver guard — its first statement is an
+//     if whose condition checks `recv == nil` (alone or in a || chain)
+//     and that returns; or
+//   - it never dereferences the receiver: using it only as the
+//     receiver of further method calls (delegation to a guarded
+//     method, e.g. the typed emit helpers funneling into Emit),
+//     comparing it to nil, or passing it as a plain argument are all
+//     nil-safe.
+//
+// Anything else — reading a field before the guard — panics the first
+// time a component runs with telemetry disabled, which is the default.
+package niltracer
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"presto/internal/analysis"
+)
+
+// Analyzer is the niltracer analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "niltracer",
+	Doc: "every exported method on a pointer receiver in the telemetry " +
+		"package must be nil-receiver-safe: open with a `if recv == nil` " +
+		"guard or only delegate to methods that do",
+	SkipTestFiles: true,
+	Run:           run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "telemetry" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if _, isPtr := recv.Type.(*ast.StarExpr); !isPtr {
+				continue
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // receiver unused; trivially nil-safe
+			}
+			obj := pass.TypesInfo.Defs[recv.Names[0]]
+			if obj == nil {
+				continue
+			}
+			if opensWithNilGuard(pass, fd.Body, obj) {
+				continue
+			}
+			if use := firstDeref(pass, fd.Body, obj); use != token.NoPos {
+				pos := pass.Fset.Position(use)
+				pass.Reportf(fd.Name.Pos(),
+					"exported method %s dereferences its pointer receiver (line %d) without opening with a nil-receiver guard; nil *%s is the disabled state and must be a no-op",
+					fd.Name.Name, pos.Line, receiverTypeName(recv.Type))
+			}
+		}
+	}
+	return nil
+}
+
+// opensWithNilGuard reports whether body's first statement is
+// `if recv == nil { ... return ... }` (the nil check may be one arm of
+// a || chain).
+func opensWithNilGuard(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || !condChecksNil(pass, ifStmt.Cond, recv) {
+		return false
+	}
+	for _, s := range ifStmt.Body.List {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func condChecksNil(pass *analysis.Pass, cond ast.Expr, recv types.Object) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecksNil(pass, e.X, recv)
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return condChecksNil(pass, e.X, recv) || condChecksNil(pass, e.Y, recv)
+		}
+		if e.Op != token.EQL {
+			return false
+		}
+		return (isRecv(pass, e.X, recv) && isNil(pass, e.Y)) ||
+			(isRecv(pass, e.Y, recv) && isNil(pass, e.X))
+	}
+	return false
+}
+
+func isRecv(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recv
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// firstDeref returns the position of the first expression that would
+// dereference recv: selecting a field, indexing, or an explicit *recv.
+// Method calls through recv do not dereference (the method's own guard
+// runs first), so delegation stays clean.
+func firstDeref(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) token.Pos {
+	found := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !isRecv(pass, n.X, recv) {
+				return true
+			}
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				found = n.Pos()
+				return false
+			}
+		case *ast.StarExpr:
+			if isRecv(pass, n.X, recv) {
+				found = n.Pos()
+				return false
+			}
+		case *ast.IndexExpr:
+			if isRecv(pass, n.X, recv) {
+				found = n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func receiverTypeName(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "receiver"
+}

@@ -1,0 +1,12 @@
+package niltracer_test
+
+import (
+	"testing"
+
+	"presto/internal/analysis/analysistest"
+	"presto/internal/analysis/niltracer"
+)
+
+func TestNiltracer(t *testing.T) {
+	analysistest.Run(t, niltracer.Analyzer, "telemetry")
+}

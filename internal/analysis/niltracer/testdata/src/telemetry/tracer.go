@@ -1,0 +1,89 @@
+// Package telemetry is a niltracer fixture: exported methods on
+// pointer receivers must be nil-receiver-safe, because the nil tracer
+// is the disabled state.
+package telemetry
+
+// Tracer buffers events; nil is the disabled state.
+type Tracer struct {
+	limit  int
+	events []int64
+}
+
+// Good: opens with the canonical guard.
+func (t *Tracer) Emit(a int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, a)
+}
+
+// Good: the guard may be one arm of a || chain.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.limit = n
+}
+
+// Good: delegation — the receiver is only ever a method-call receiver,
+// so the guarded callee handles nil.
+func (t *Tracer) EmitPair(a, b int64) {
+	t.Emit(a)
+	t.Emit(b)
+}
+
+// Good: comparing the receiver to nil does not dereference it.
+func (t *Tracer) Enabled() bool {
+	return t != nil
+}
+
+// Good: a guard that returns a value still counts.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Bad: reads a field with no guard at all.
+func (t *Tracer) Reset() { // want `must be a no-op`
+	t.events = t.events[:0]
+}
+
+// Bad: the guard must be the first statement; a later guard leaves the
+// first dereference unprotected.
+func (t *Tracer) Push(a int64) { // want `must be a no-op`
+	n := len(t.events)
+	if t == nil {
+		return
+	}
+	_ = n
+	t.events = append(t.events, a)
+}
+
+// Bad: a guard that does not bail out does not protect what follows.
+func (t *Tracer) Count() int { // want `must be a no-op`
+	if t == nil {
+		_ = 0
+	}
+	return len(t.events)
+}
+
+// Unexported methods are outside the contract (callers inside the
+// package guard at the boundary).
+func (t *Tracer) drain() []int64 {
+	out := t.events
+	t.events = nil
+	return out
+}
+
+// Value receivers cannot be nil and are outside the contract.
+type Kind uint8
+
+// String is a value-receiver method.
+func (k Kind) String() string {
+	if k == 0 {
+		return "none"
+	}
+	return "kind"
+}

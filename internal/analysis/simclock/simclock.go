@@ -1,0 +1,83 @@
+// Package simclock forbids wall-clock time and global math/rand state
+// in simulator code.
+//
+// The simulator's reproducibility contract (same seed, byte-identical
+// artifacts at any -parallel setting) holds only if every timestamp
+// comes from sim.Engine.Now and every random draw from a sim.RNG
+// derived from the run's seed. time.Now or a global rand.Intn anywhere
+// in the event path silently breaks replay. The harness layer — cmd/*,
+// examples/*, internal/campaign — legitimately measures wall time
+// around the deterministic core and is exempt; anything else needs a
+// //prestolint:allow wallclock annotation with a reason.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"presto/internal/analysis"
+)
+
+// Analyzer is the simclock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:    "simclock",
+	Aliases: []string{"wallclock"},
+	Doc: "forbid wall-clock time (time.Now, time.Since, time.Sleep, ...) and " +
+		"global math/rand state in simulator packages; simulated time must come " +
+		"from sim.Engine and randomness from a seeded sim.RNG",
+	SkipPkg: analysis.HarnessExempt,
+	Run:     run,
+}
+
+// bannedTime lists package-level time functions that read or wait on
+// the wall clock. Pure types and constructors of inert values
+// (time.Duration, time.Date, time.Unix) are fine.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method, e.g. time.Duration.Seconds
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall clock in simulator code: time.%s breaks deterministic replay; use sim.Engine time (or //prestolint:allow wallclock -- reason)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Constructors (New, NewSource, NewPCG, ...) build
+				// explicitly seeded generators and are fine; everything
+				// else draws from the global, seed-independent stream.
+				if !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(sel.Pos(),
+						"global math/rand state in simulator code: rand.%s is not derived from the run seed; use a sim.RNG (or //prestolint:allow wallclock -- reason)",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"presto/internal/analysis/analysistest"
+	"presto/internal/analysis/simclock"
+)
+
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, simclock.Analyzer, "simcore", "cmd/tool")
+}

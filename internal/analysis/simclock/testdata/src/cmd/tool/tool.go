@@ -1,0 +1,16 @@
+// Package tool is a simclock fixture for the harness exemption: under
+// a cmd/ path, wall-clock use is allowed without annotations.
+package tool
+
+import "time"
+
+// Elapsed measures real elapsed time, which a command-line driver may
+// legitimately do.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Stamp reads the wall clock for progress output.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,56 @@
+// Package simcore is a simclock fixture: simulator-layer code where
+// wall-clock time and global math/rand are forbidden.
+package simcore
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad patterns: every wall-clock read or global rand draw is flagged.
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+func Wait() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since`
+}
+
+func Later() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After`
+}
+
+func Jitter() int {
+	return rand.Intn(100) // want `rand\.Intn`
+}
+
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle`
+}
+
+// Permitted patterns: inert time values, explicitly seeded generators,
+// and method calls on time types.
+
+func Timeout() time.Duration {
+	return 5 * time.Millisecond
+}
+
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func Millis(d time.Duration) float64 {
+	return d.Seconds() * 1000
+}
+
+// The escape hatch: an annotated use is not reported.
+
+func Profiled() int64 {
+	//prestolint:allow wallclock -- fixture: profiling hook outside the event path
+	return time.Now().UnixNano()
+}

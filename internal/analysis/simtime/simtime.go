@@ -1,0 +1,154 @@
+// Package simtime forbids mixing sim.Time with wall-clock time types
+// outside the blessed conversion helpers.
+//
+// sim.Time is a simulated nanosecond timestamp; time.Duration and
+// time.Time are wall-clock quantities. A direct conversion between
+// them — sim.Time(d), time.Duration(t), or laundering through an
+// integer such as sim.Time(d.Nanoseconds()) — silently couples
+// simulated results to wall-clock inputs and hides the unit change
+// from reviewers. All conversions must go through the helpers the sim
+// package itself exports (sim.FromDuration, sim.Time.AsDuration),
+// which exist precisely so the crossing points are grep-able.
+//
+// The sim package (the type's owner) is the only blessed location for
+// raw conversions.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"presto/internal/analysis"
+)
+
+// Analyzer is the simtime analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "forbid converting between sim.Time and time.Duration/time.Time " +
+		"(including laundering through integers or Nanoseconds()) outside " +
+		"the sim package's blessed helpers sim.FromDuration and " +
+		"sim.Time.AsDuration",
+	Run: run,
+}
+
+// wallMethods are accessor methods on time.Duration/time.Time whose
+// integer results are wall-clock quantities in disguise.
+var wallMethods = map[string]bool{
+	"Nanoseconds":  true,
+	"Microseconds": true,
+	"Milliseconds": true,
+	"Seconds":      true,
+	"Unix":         true,
+	"UnixMilli":    true,
+	"UnixMicro":    true,
+	"UnixNano":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	// The sim package owns the type; its helpers are the blessed
+	// conversion points.
+	if strings.TrimSuffix(pass.Pkg.Name(), "_test") == "sim" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			target := tv.Type
+			arg := call.Args[0]
+			argType := pass.TypesInfo.Types[arg].Type
+
+			switch {
+			case isSimTime(target) && isWallClock(argType):
+				pass.Reportf(call.Pos(),
+					"direct conversion from %s to sim.Time: use sim.FromDuration so wall-clock crossings stay explicit (or //prestolint:allow simtime -- reason)",
+					typeName(argType))
+			case isWallClock(target) && isSimTime(argType):
+				pass.Reportf(call.Pos(),
+					"direct conversion from sim.Time to %s: use sim.Time.AsDuration so wall-clock crossings stay explicit (or //prestolint:allow simtime -- reason)",
+					typeName(target))
+			case isSimTime(target) && laundersWallClock(pass, arg):
+				pass.Reportf(call.Pos(),
+					"wall-clock value laundered through an integer into sim.Time: use sim.FromDuration (or //prestolint:allow simtime -- reason)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// laundersWallClock reports whether e, after peeling integer
+// conversions, is an accessor call on a wall-clock value (e.g.
+// d.Nanoseconds(), int64(d), t.UnixNano()).
+func laundersWallClock(pass *analysis.Pass, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.CallExpr:
+			if len(x.Args) == 1 {
+				if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+					if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsNumeric != 0 {
+						inner := x.Args[0]
+						if t := pass.TypesInfo.Types[inner].Type; t != nil && isWallClock(t) {
+							return true
+						}
+						e = inner
+						continue
+					}
+				}
+			}
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok || !wallMethods[sel.Sel.Name] {
+				return false
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			return ok && isWallClock(s.Recv())
+		default:
+			return false
+		}
+	}
+}
+
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil &&
+		strings.TrimSuffix(obj.Pkg().Name(), "_test") == "sim"
+}
+
+func isWallClock(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	return obj.Name() == "Duration" || obj.Name() == "Time"
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return pkg.Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"presto/internal/analysis/analysistest"
+	"presto/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer, "sim", "mixing")
+}

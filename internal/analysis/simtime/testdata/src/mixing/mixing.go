@@ -1,0 +1,60 @@
+// Package mixing is a simtime fixture: raw conversions between
+// sim.Time and wall-clock types are flagged outside the sim package.
+package mixing
+
+import (
+	"time"
+
+	"sim"
+)
+
+// Bad: direct conversions in both directions.
+
+func ToSim(d time.Duration) sim.Time {
+	return sim.Time(d) // want `direct conversion from time\.Duration to sim\.Time`
+}
+
+func ToWall(t sim.Time) time.Duration {
+	return time.Duration(t) // want `direct conversion from sim\.Time to time\.Duration`
+}
+
+// Bad: laundering a duration through its integer accessor or an
+// integer conversion does not hide the crossing.
+
+func Laundered(d time.Duration) sim.Time {
+	return sim.Time(d.Nanoseconds()) // want `laundered through an integer`
+}
+
+func LaunderedInt(d time.Duration) sim.Time {
+	return sim.Time(int64(d)) // want `laundered through an integer`
+}
+
+// Good: the blessed helpers.
+
+func Blessed(d time.Duration) sim.Time {
+	return sim.FromDuration(d)
+}
+
+func BlessedBack(t sim.Time) time.Duration {
+	return t.AsDuration()
+}
+
+// Good: conversions that never touch wall-clock types.
+
+func Scale(t sim.Time) sim.Time {
+	return sim.Time(int64(t) * 2)
+}
+
+func Literal() sim.Time {
+	return sim.Time(42)
+}
+
+func Seconds(t sim.Time) float64 {
+	return float64(t) / 1e9
+}
+
+// The escape hatch: an annotated conversion is not reported.
+
+func Hatch(d time.Duration) sim.Time {
+	return sim.Time(d) //prestolint:allow simtime -- fixture: documented exception
+}

@@ -1,0 +1,20 @@
+// Package sim is a simtime fixture stand-in for the simulator's time
+// package: it owns the Time type, so raw conversions here are blessed.
+package sim
+
+import "time"
+
+// Time is a simulated timestamp in nanoseconds.
+type Time int64
+
+// FromDuration converts a wall-clock duration into simulated time —
+// one of the two blessed crossing points.
+func FromDuration(d time.Duration) Time {
+	return Time(d)
+}
+
+// AsDuration converts simulated time into a wall-clock duration — the
+// other blessed crossing point.
+func (t Time) AsDuration() time.Duration {
+	return time.Duration(t)
+}

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
 
 	"presto/internal/packet"
 	"presto/internal/sim"
@@ -196,12 +197,14 @@ func (n *Network) failoverActive(id topo.LinkID) bool {
 	return n.Eng.Now() >= since+n.cfg.FailoverLatency
 }
 
-// DownLinks returns the currently failed links.
+// DownLinks returns the currently failed links, sorted by link ID so
+// the result is independent of map iteration order.
 func (n *Network) DownLinks() []topo.LinkID {
 	var out []topo.LinkID
 	for id := range n.linkDownSince {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -287,7 +287,9 @@ func (g *Presto) Flush() {
 func (g *Presto) Stats() *Stats { return &g.stats }
 
 // HeldSegments returns the number of segments currently held across
-// flows (zero when no reordering is in flight).
+// flows (zero when no reordering is in flight). Ranging over the flows
+// map is safe here: += into a scalar is order-insensitive, so the
+// result does not depend on map iteration order.
 func (g *Presto) HeldSegments() int {
 	n := 0
 	for _, f := range g.flows {

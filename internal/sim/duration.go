@@ -1,0 +1,20 @@
+package sim
+
+import "time"
+
+// FromDuration converts a wall-clock duration to simulated time. It is
+// one of the two blessed crossings between time.Duration and sim.Time
+// (the other is Time.AsDuration); everywhere else the simtime analyzer
+// rejects mixing the two so that wall-clock quantities cannot leak into
+// the deterministic core unnoticed. Both types count nanoseconds, so
+// the conversion is exact.
+func FromDuration(d time.Duration) Time {
+	return Time(d.Nanoseconds())
+}
+
+// AsDuration converts a simulated timestamp or interval to a
+// wall-clock duration, for harness-side reporting and flag plumbing.
+// See FromDuration for the conversion policy.
+func (t Time) AsDuration() time.Duration {
+	return time.Duration(int64(t))
+}

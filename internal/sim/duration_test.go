@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFromDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want Time
+	}{
+		{0, 0},
+		{time.Nanosecond, Nanosecond},
+		{time.Microsecond, Microsecond},
+		{time.Millisecond, Millisecond},
+		{time.Second, Second},
+		{-5 * time.Microsecond, -5 * Microsecond},
+		{3*time.Second + 250*time.Millisecond, 3*Second + 250*Millisecond},
+	}
+	for _, c := range cases {
+		if got := FromDuration(c.d); got != c.want {
+			t.Errorf("FromDuration(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestAsDurationRoundTrip(t *testing.T) {
+	for _, tm := range []Time{0, 1, Microsecond, 7 * Second, -3 * Millisecond} {
+		if got := FromDuration(tm.AsDuration()); got != tm {
+			t.Errorf("FromDuration(%d.AsDuration()) = %d, want identity", tm, got)
+		}
+	}
+}

@@ -13,6 +13,8 @@ package tcp
 
 import (
 	"fmt"
+	"sort"
+
 	"presto/internal/packet"
 	"presto/internal/sim"
 	"presto/internal/telemetry"
@@ -772,8 +774,16 @@ func (e *Endpoint) OutOfOrderCounts() []int {
 			spans[fc] = &span{first: i, last: i}
 		}
 	}
+	// Report spans in order of first appearance in the log, not map
+	// iteration order, so the counts are deterministic across runs.
+	fcs := make([]uint32, 0, len(spans))
+	for fc := range spans {
+		fcs = append(fcs, fc)
+	}
+	sort.Slice(fcs, func(i, j int) bool { return spans[fcs[i]].first < spans[fcs[j]].first })
 	var out []int
-	for fc, s := range spans {
+	for _, fc := range fcs {
+		s := spans[fc]
 		n := 0
 		for i := s.first; i <= s.last; i++ {
 			if e.fcLog[i] != fc {

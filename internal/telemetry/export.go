@@ -10,8 +10,12 @@ import (
 )
 
 // WriteJSONL writes the buffered events as JSON Lines: one
-// self-describing object per line, in emission order.
+// self-describing object per line, in emission order. A nil Tracer is
+// the disabled state and writes nothing.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	bw := bufio.NewWriter(w)
 	for i := range t.Events() {
 		ev := &t.events[i]

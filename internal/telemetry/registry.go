@@ -99,7 +99,10 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 
 // Summary renders the snapshot as an aligned three-column table
 // (component, metric, value) with nested maps flattened into dotted
-// keys — the -v output of the CLIs.
+// keys — the -v output of the CLIs. Rendering is deterministic:
+// component names and flattened metric keys are collected and sorted
+// before any row is written, so map iteration order never reaches the
+// output.
 func (s *Snapshot) Summary() string {
 	if s == nil {
 		return "(no telemetry)\n"
@@ -125,7 +128,9 @@ func (s *Snapshot) Summary() string {
 	return tbl.String()
 }
 
-// flatten expands nested map values into dotted keys.
+// flatten expands nested map values into dotted keys. It writes into
+// another map, which is order-insensitive; Summary sorts the flattened
+// keys before rendering.
 func flatten(prefix string, m map[string]any, out map[string]any) {
 	for k, v := range m {
 		key := k

@@ -1,0 +1,15 @@
+//go:build tools
+
+// Package tools pins build-tool dependencies in go.mod so CI and
+// developers install the exact same versions. The file never builds
+// (the tools tag is never set); it exists so `go mod` tracks the tool
+// modules and `go install <pkg>` inside the repo resolves to the
+// pinned version:
+//
+//	go mod download honnef.co/go/tools   # records the hash in go.sum
+//	go install honnef.co/go/tools/cmd/staticcheck
+package tools
+
+import (
+	_ "honnef.co/go/tools/cmd/staticcheck" // staticcheck 2025.1.1
+)
