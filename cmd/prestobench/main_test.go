@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesArtifactAndSelfGates runs a single cheap benchmark,
+// checks the JSON artifact parses under the presto-bench/1 schema, and
+// verifies a fresh run gates cleanly against its own output.
+func TestRunWritesArtifactAndSelfGates(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-short", "-run", "EngineTimerReset", "-out", out}, &sb); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if art.Schema != schema {
+		t.Fatalf("schema = %q, want %q", art.Schema, schema)
+	}
+	if len(art.Benchmarks) != 1 || art.Benchmarks[0].Name != "EngineTimerReset" {
+		t.Fatalf("benchmarks = %+v, want exactly EngineTimerReset", art.Benchmarks)
+	}
+	if got := art.Benchmarks[0].AllocsPerOp; got != 0 {
+		t.Fatalf("EngineTimerReset allocs/op = %d, want 0 (zero-alloc invariant)", got)
+	}
+	if art.Benchmarks[0].Iterations == 0 || art.Benchmarks[0].NsPerOp <= 0 {
+		t.Fatalf("implausible measurement: %+v", art.Benchmarks[0])
+	}
+
+	// Self-gate: identical numbers must be within any threshold.
+	sb.Reset()
+	if err := run([]string{"-short", "-run", "EngineTimerReset", "-gate", out}, &sb); err != nil {
+		t.Fatalf("self-gate failed: %v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "perf gate passed") {
+		t.Fatalf("missing gate confirmation in output:\n%s", sb.String())
+	}
+}
+
+// TestGateFlagsRegression fabricates a baseline with 0 allocs/op for a
+// benchmark that allocates, and expects the gate to reject it.
+func TestGateFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	art := Artifact{
+		Schema: schema,
+		Go:     "go-test",
+		Benchmarks: []Record{
+			{Name: "ClusterEndToEnd", AllocsPerOp: 0, Gated: true},
+		},
+	}
+	data, _ := json.Marshal(art)
+	if err := os.WriteFile(base, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := Artifact{
+		Schema: schema,
+		Benchmarks: []Record{
+			{Name: "ClusterEndToEnd", AllocsPerOp: 1000, Gated: true},
+		},
+	}
+	var sb strings.Builder
+	err := gateAgainst(&sb, fresh, base, 20)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gate accepted a 0→1000 allocs/op regression (err=%v)", err)
+	}
+}

@@ -1,8 +1,6 @@
 package gro
 
 import (
-	"sort"
-
 	"presto/internal/metrics"
 	"presto/internal/packet"
 	"presto/internal/sim"
@@ -64,7 +62,12 @@ func (c *PrestoConfig) fill() {
 
 // prestoFlow is the per-flow state of Algorithm 2.
 type prestoFlow struct {
-	segs []*packet.Segment // segment_list; new segments go at the head
+	// segs is the segment_list, kept sorted ascending by StartSeq at
+	// all times (binary insertion on arrival), so Flush walks it
+	// directly instead of re-sorting every poll. Among equal start
+	// sequences, newer segments sort first — the same order the
+	// original head-prepend + stable-sort produced.
+	segs []*packet.Segment
 
 	init         bool
 	lastFlowcell uint32 // flowcell of the most recent in-order byte
@@ -101,6 +104,24 @@ func (f *prestoFlow) observeResolution(d float64) {
 		f.mdev.Observe(d / 2)
 	}
 	f.ewma.Observe(d)
+}
+
+// insertSeg places s into the sorted segment list by binary insertion:
+// before any existing segment with an equal StartSeq (newest-first
+// among ties), after everything smaller.
+func (f *prestoFlow) insertSeg(s *packet.Segment) {
+	lo, hi := 0, len(f.segs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if packet.SeqLT(f.segs[mid].StartSeq, s.StartSeq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	f.segs = append(f.segs, nil)
+	copy(f.segs[lo+1:], f.segs[lo:])
+	f.segs[lo] = s
 }
 
 // Presto is the paper's modified GRO handler (Algorithm 2). It keeps
@@ -148,13 +169,26 @@ func (g *Presto) Receive(p *packet.Packet) {
 		g.flows[p.Flow] = f
 		g.order = append(g.order, p.Flow)
 	}
-	for _, seg := range f.segs {
-		if mergeTail(seg, p, now) || mergeHead(seg, p, now) {
+	// Scan merge candidates from the highest start sequence down: the
+	// common in-order packet extends the most recent (highest-seq)
+	// segment, so the first probe usually hits.
+	for i := len(f.segs) - 1; i >= 0; i-- {
+		seg := f.segs[i]
+		if mergeTail(seg, p, now) {
 			g.stats.Merges++
 			return
 		}
+		if mergeHead(seg, p, now) {
+			g.stats.Merges++
+			// The merge lowered seg.StartSeq; bubble it left to keep the
+			// list sorted.
+			for j := i; j > 0 && packet.SeqLT(f.segs[j].StartSeq, f.segs[j-1].StartSeq); j-- {
+				f.segs[j], f.segs[j-1] = f.segs[j-1], f.segs[j]
+			}
+			return
+		}
 	}
-	f.segs = append([]*packet.Segment{segFromPacket(p, now)}, f.segs...)
+	f.insertSeg(segFromPacket(p, now))
 }
 
 // Flush implements Handler: Algorithm 2's flush function, run at the
@@ -162,17 +196,6 @@ func (g *Presto) Receive(p *packet.Packet) {
 // held).
 func (g *Presto) Flush() {
 	now := g.Eng.Now()
-	ewmaVal := func(f *prestoFlow) sim.Time {
-		e := g.cfg.InitialEWMA
-		if f.ewma.Initialized() {
-			e = sim.Time(f.ewma.Value() + 8*f.mdev.Value())
-		}
-		if e < g.cfg.MinEWMA {
-			e = g.cfg.MinEWMA
-		}
-		return e
-	}
-
 	var nextDeadline sim.Time = -1
 	held := false
 	for _, key := range g.order {
@@ -180,12 +203,8 @@ func (g *Presto) Flush() {
 		if f == nil || len(f.segs) == 0 {
 			continue
 		}
-		// Reordering can leave the list slightly out of order; sort by
-		// start sequence before walking (the paper's insertion sort —
-		// the list is mostly sorted so this is cheap).
-		sort.SliceStable(f.segs, func(i, j int) bool {
-			return packet.SeqLT(f.segs[i].StartSeq, f.segs[j].StartSeq)
-		})
+		// The list is maintained sorted by start sequence on arrival
+		// (insertSeg / the mergeHead bubble), so the walk needs no sort.
 		if !f.init {
 			// Seed flow state from the first (lowest-seq) segment.
 			f.init = true
@@ -193,15 +212,7 @@ func (g *Presto) Flush() {
 			f.expSeq = f.segs[0].StartSeq
 		}
 		kept := f.segs[:0]
-		e := ewmaVal(f)
-		holdUntil := func(s *packet.Segment) sim.Time {
-			deadline := s.CreatedAt + sim.Time(g.cfg.Alpha*float64(e))
-			merged := s.LastMerge + sim.Time(float64(e)/g.cfg.Beta)
-			if merged > deadline {
-				return merged
-			}
-			return deadline
-		}
+		e := g.holdBudget(f)
 		for _, s := range f.segs {
 			switch {
 			case s.FlowcellID == f.lastFlowcell:
@@ -232,7 +243,7 @@ func (g *Presto) Flush() {
 					f.lastFlowcell = s.FlowcellID
 					f.expSeq = packet.SeqMax(f.expSeq, s.EndSeq)
 					g.stats.deliverData(g.Out, s, FlushOverlap, now)
-				case now >= holdUntil(s):
+				case now >= g.holdUntil(s, e):
 					// Lines 14-18: held long enough — declare loss. The
 					// elapsed hold still feeds the estimator: if this was
 					// in fact slow reordering, the next hold is longer
@@ -256,7 +267,7 @@ func (g *Presto) Flush() {
 					}
 					kept = append(kept, s)
 					held = true
-					if d := holdUntil(s); nextDeadline < 0 || d < nextDeadline {
+					if d := g.holdUntil(s, e); nextDeadline < 0 || d < nextDeadline {
 						nextDeadline = d
 					}
 				}
@@ -281,6 +292,33 @@ func (g *Presto) Flush() {
 	} else {
 		g.timer.Stop()
 	}
+}
+
+// holdBudget returns the flow's effective reorder-time estimate: the
+// Jacobson-style mean + 8·mdev once initialized, floored at MinEWMA.
+// (A method, not a per-Flush closure, so the flush walk stays
+// allocation-free.)
+func (g *Presto) holdBudget(f *prestoFlow) sim.Time {
+	e := g.cfg.InitialEWMA
+	if f.ewma.Initialized() {
+		e = sim.Time(f.ewma.Value() + 8*f.mdev.Value())
+	}
+	if e < g.cfg.MinEWMA {
+		e = g.cfg.MinEWMA
+	}
+	return e
+}
+
+// holdUntil returns the instant segment s may be held to, given the
+// flow's hold budget e: creation plus α·e, extended by the β merge
+// bonus when a packet merged in recently.
+func (g *Presto) holdUntil(s *packet.Segment, e sim.Time) sim.Time {
+	deadline := s.CreatedAt + sim.Time(g.cfg.Alpha*float64(e))
+	merged := s.LastMerge + sim.Time(float64(e)/g.cfg.Beta)
+	if merged > deadline {
+		return merged
+	}
+	return deadline
 }
 
 // Stats implements Handler.

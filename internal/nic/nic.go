@@ -117,7 +117,10 @@ type NIC struct {
 	gro   gro.Handler
 	stage *stagingOutput
 
-	ring     []*packet.Packet
+	ring     pktRing
+	batch    []*packet.Packet  // reused per-poll scratch
+	staged   []*packet.Segment // segments awaiting the current poll's completion
+	doneFn   func()            // pollDone bound once, so poll() doesn't allocate a closure
 	busy     bool
 	intTimer *sim.Timer
 	intArmed bool
@@ -126,9 +129,51 @@ type NIC struct {
 	Stats Stats
 }
 
+// pktRing is the RX descriptor ring: a growable circular queue whose
+// push/pop are allocation-free in steady state (the backing array only
+// grows, by doubling, to the high-water mark).
+type pktRing struct {
+	buf  []*packet.Packet // power-of-two capacity
+	head int
+	n    int
+}
+
+// Len returns the number of queued packets.
+func (r *pktRing) Len() int { return r.n }
+
+func (r *pktRing) push(p *packet.Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *pktRing) pop() *packet.Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil // release the reference; the ring must not pin packets
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *pktRing) grow() {
+	cap2 := len(r.buf) * 2
+	if cap2 == 0 {
+		cap2 = 64
+	}
+	buf := make([]*packet.Packet, cap2)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // stagingOutput buffers GRO output during a poll so delivery happens
 // when the batch's CPU cost has elapsed; outside a poll (GRO hold
-// timers) it forwards directly.
+// timers) it forwards directly. Staging buffers are recycled across
+// polls (only one poll is ever outstanding per NIC).
 type stagingOutput struct {
 	up      gro.Output
 	buf     []*packet.Segment
@@ -143,6 +188,23 @@ func (s *stagingOutput) DeliverSegment(seg *packet.Segment) {
 	s.up.DeliverSegment(seg)
 }
 
+// take hands the staged segments to the caller; recycle returns the
+// buffer once its segments are delivered.
+func (s *stagingOutput) take() []*packet.Segment {
+	b := s.buf
+	s.buf = nil
+	return b
+}
+
+func (s *stagingOutput) recycle(b []*packet.Segment) {
+	for i := range b {
+		b[i] = nil // segments live on up the stack; the buffer must not pin them
+	}
+	if s.buf == nil {
+		s.buf = b[:0]
+	}
+}
+
 // New creates a NIC for host h. makeGRO constructs the receive-offload
 // handler around the NIC's staging output, which forwards to up.
 func New(eng *sim.Engine, net *fabric.Network, h packet.HostID, up gro.Output, makeGRO func(out gro.Output) gro.Handler, cfg Config) *NIC {
@@ -151,6 +213,7 @@ func New(eng *sim.Engine, net *fabric.Network, h packet.HostID, up gro.Output, m
 	n.stage = &stagingOutput{up: up}
 	n.gro = makeGRO(n.stage)
 	n.intTimer = sim.NewTimer(eng, n.interrupt)
+	n.doneFn = n.pollDone
 	return n
 }
 
@@ -229,15 +292,15 @@ func (n *NIC) SendSegment(seg *packet.Segment) {
 // HandlePacket implements fabric.Handler: packets arriving from the
 // wire enter the RX ring.
 func (n *NIC) HandlePacket(p *packet.Packet) {
-	if len(n.ring) >= n.cfg.RingSize {
+	if n.ring.Len() >= n.cfg.RingSize {
 		// Receiver livelock: the CPU can't drain the ring fast enough.
 		n.Stats.RxDrops++
-		n.tracer.RingDrop(n.eng.Now(), int32(n.host), len(n.ring))
+		n.tracer.RingDrop(n.eng.Now(), int32(n.host), n.ring.Len())
 		return
 	}
-	n.ring = append(n.ring, p)
-	if len(n.ring) > n.Stats.MaxRing {
-		n.Stats.MaxRing = len(n.ring)
+	n.ring.push(p)
+	if n.ring.Len() > n.Stats.MaxRing {
+		n.Stats.MaxRing = n.ring.Len()
 	}
 	n.Stats.RxPackets++
 	if n.cfg.DisableCPUModel {
@@ -249,7 +312,7 @@ func (n *NIC) HandlePacket(p *packet.Packet) {
 		return
 	}
 	if n.busy || n.intArmed {
-		if n.intArmed && len(n.ring) >= n.cfg.CoalesceCount {
+		if n.intArmed && n.ring.Len() >= n.cfg.CoalesceCount {
 			n.intTimer.Stop()
 			n.intArmed = false
 			n.interrupt()
@@ -257,7 +320,7 @@ func (n *NIC) HandlePacket(p *packet.Packet) {
 		return
 	}
 	// Idle: arm the coalescing timer (or fire now if a burst landed).
-	if len(n.ring) >= n.cfg.CoalesceCount {
+	if n.ring.Len() >= n.cfg.CoalesceCount {
 		n.interrupt()
 		return
 	}
@@ -265,16 +328,38 @@ func (n *NIC) HandlePacket(p *packet.Packet) {
 	n.intTimer.Reset(n.cfg.CoalesceDelay)
 }
 
+// takeBatch moves up to budget packets from the ring into the reused
+// scratch slice.
+func (n *NIC) takeBatch(budget int) []*packet.Packet {
+	if budget > n.ring.Len() {
+		budget = n.ring.Len()
+	}
+	n.batch = n.batch[:0]
+	for i := 0; i < budget; i++ {
+		n.batch = append(n.batch, n.ring.pop())
+	}
+	return n.batch
+}
+
+// releaseBatch clears the scratch references so processed packets are
+// not pinned until the next poll.
+func (n *NIC) releaseBatch() {
+	for i := range n.batch {
+		n.batch[i] = nil
+	}
+	n.batch = n.batch[:0]
+}
+
 // pollFree is the no-CPU-model drain path.
 func (n *NIC) pollFree() {
-	for len(n.ring) > 0 {
-		batch := n.ring
-		n.ring = nil
+	for n.ring.Len() > 0 {
+		batch := n.takeBatch(n.ring.Len())
 		n.Stats.Polls++
 		for _, p := range batch {
 			n.gro.Receive(p)
 		}
 		n.gro.Flush()
+		n.releaseBatch()
 	}
 	n.busy = false
 }
@@ -282,7 +367,7 @@ func (n *NIC) pollFree() {
 // interrupt starts a poll if the CPU is free.
 func (n *NIC) interrupt() {
 	n.intArmed = false
-	if n.busy || len(n.ring) == 0 {
+	if n.busy || n.ring.Len() == 0 {
 		return
 	}
 	n.poll()
@@ -290,15 +375,10 @@ func (n *NIC) interrupt() {
 
 // poll consumes up to PollBudget packets, runs GRO over them, and
 // occupies the CPU for the batch's modeled cost; the GRO output is
-// delivered when the cost has elapsed. If the ring is non-empty at
-// completion, polling continues immediately (NAPI-style).
+// delivered when the cost has elapsed (pollDone). If the ring is
+// non-empty at completion, polling continues immediately (NAPI-style).
 func (n *NIC) poll() {
-	budget := n.cfg.PollBudget
-	if budget > len(n.ring) {
-		budget = len(n.ring)
-	}
-	batch := n.ring[:budget]
-	n.ring = append([]*packet.Packet(nil), n.ring[budget:]...)
+	batch := n.takeBatch(n.cfg.PollBudget)
 	n.Stats.Polls++
 	n.busy = true
 
@@ -323,25 +403,35 @@ func (n *NIC) poll() {
 		sim.Time(evictions)*c.PerEviction +
 		sim.Time(float64(bytes)*c.PerByteNs)
 	n.Stats.BusyTime += cost
+	n.releaseBatch()
 
-	staged := n.stage.buf
-	n.stage.buf = nil
-	n.eng.Schedule(cost, func() {
-		for _, seg := range staged {
-			n.stage.up.DeliverSegment(seg)
-		}
-		n.busy = false
-		// NAPI-style continuation: stay in polling mode only while the
-		// backlog justifies it; otherwise return to interrupt
-		// coalescing so batches stay large and the per-poll cost
-		// amortizes.
-		if len(n.ring) >= n.cfg.CoalesceCount {
-			n.poll()
-		} else if len(n.ring) > 0 && !n.intArmed {
-			n.intArmed = true
-			n.intTimer.Reset(n.cfg.CoalesceDelay)
-		}
-	})
+	// The busy flag guarantees a single outstanding poll, so the staged
+	// segments ride in a field and the completion callback is the
+	// pre-bound doneFn — no per-poll closure.
+	n.staged = n.stage.take()
+	n.eng.Schedule(cost, n.doneFn)
+}
+
+// pollDone delivers the staged GRO output once the poll's CPU cost has
+// elapsed, then decides whether to keep polling.
+func (n *NIC) pollDone() {
+	staged := n.staged
+	n.staged = nil
+	for _, seg := range staged {
+		n.stage.up.DeliverSegment(seg)
+	}
+	n.stage.recycle(staged)
+	n.busy = false
+	// NAPI-style continuation: stay in polling mode only while the
+	// backlog justifies it; otherwise return to interrupt
+	// coalescing so batches stay large and the per-poll cost
+	// amortizes.
+	if n.ring.Len() >= n.cfg.CoalesceCount {
+		n.poll()
+	} else if n.ring.Len() > 0 && !n.intArmed {
+		n.intArmed = true
+		n.intTimer.Reset(n.cfg.CoalesceDelay)
+	}
 }
 
 // Utilization returns the fraction of the window [since, now] the

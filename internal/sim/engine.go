@@ -8,12 +8,27 @@
 // sequence number), and all randomness must come from an RNG derived from
 // the engine's seed. Two runs with the same seed produce identical
 // results.
+//
+// Performance: the hot path (Schedule → dispatch) is allocation-free in
+// steady state. Events live in a pooled arena (a slice of slots recycled
+// through a free list) and are ordered by an intrusive 4-ary min-heap of
+// slot indices, so scheduling neither boxes values into interfaces nor
+// touches the garbage collector. Arena invariants, for future editors:
+//
+//   - A slot is in exactly one of three states: queued (pos >= 0, index
+//     into heap), firing (popped this dispatch, pos == -1, not yet
+//     released), or free (on the free list, pos == -1, fn == nil).
+//   - EventID carries the slot's generation at allocation time. Every
+//     release increments the generation, so a stale EventID — one whose
+//     event fired, was canceled, or whose slot was reused — can never
+//     cancel or observe the slot's next occupant.
+//   - The slot is released *before* its callback runs: from inside a
+//     callback, the firing event's own EventID is already dead, and a
+//     Schedule there may legitimately reuse the slot.
+//   - fn is cleared on release so the arena never pins dead closures.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated timestamp in nanoseconds since the start of the run.
 type Time int64
@@ -48,56 +63,35 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback.
-type event struct {
+// eventSlot is one arena cell. See the package comment for the state
+// machine and generation rules.
+type eventSlot struct {
 	at  Time
 	seq uint64 // FIFO tie-break for events at the same instant
+	gen uint64 // bumped on every release; EventIDs must match to act
 	fn  func()
 
-	index    int // heap index; -1 once popped or canceled
-	canceled bool
-}
-
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	pos  int32 // index in Engine.heap, or -1 when firing/free
+	next int32 // next free slot while on the free list
 }
 
 // EventID identifies a scheduled event so it can be canceled. The zero
-// EventID is invalid and safe to Cancel (a no-op).
-type EventID struct{ ev *event }
+// EventID is invalid and safe to Cancel (a no-op). IDs are generation-
+// counted: once the event fires or is canceled, the ID is dead even if
+// its arena slot is reused by a later Schedule.
+type EventID struct {
+	slot int32
+	gen  uint64
+}
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // create one with NewEngine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	arena   []eventSlot
+	free    int32   // head of the free-slot list, -1 when empty
+	heap    []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
 	running bool
 	stopped bool
 
@@ -111,11 +105,32 @@ type Engine struct {
 
 // NewEngine returns an Engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{free: -1}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// alloc takes a slot off the free list, growing the arena when empty.
+func (e *Engine) alloc() int32 {
+	if i := e.free; i >= 0 {
+		e.free = e.arena[i].next
+		return i
+	}
+	e.arena = append(e.arena, eventSlot{gen: 1, pos: -1, next: -1})
+	return int32(len(e.arena) - 1)
+}
+
+// release retires a slot: kill its generation, drop the closure, and
+// push it onto the free list.
+func (e *Engine) release(i int32) {
+	s := &e.arena[i]
+	s.gen++
+	s.fn = nil
+	s.pos = -1
+	s.next = e.free
+	e.free = i
+}
 
 // Schedule runs fn after delay. A negative delay is treated as zero
 // (the event fires at the current instant, after already-queued events
@@ -137,32 +152,51 @@ func (e *Engine) At(t Time, fn func()) EventID {
 		t = e.now
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	if len(e.queue) > e.PeakPending {
-		e.PeakPending = len(e.queue)
+	i := e.alloc()
+	s := &e.arena[i]
+	s.at, s.seq, s.fn = t, e.seq, fn
+	e.heapPush(i)
+	if len(e.heap) > e.PeakPending {
+		e.PeakPending = len(e.heap)
 	}
-	return EventID{ev}
+	return EventID{slot: i, gen: s.gen}
 }
 
 // Cancel prevents a scheduled event from firing. Canceling an event that
 // already fired, was already canceled, or is the zero EventID is a no-op.
 // It reports whether the event was actually canceled.
 func (e *Engine) Cancel(id EventID) bool {
-	ev := id.ev
-	if ev == nil || ev.canceled || ev.index < 0 {
+	if id.slot < 0 || int(id.slot) >= len(e.arena) {
 		return false
 	}
-	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	s := &e.arena[id.slot]
+	if s.gen != id.gen || s.pos < 0 {
+		return false
+	}
+	e.heapRemove(s.pos)
+	e.release(id.slot)
 	return true
 }
 
-// Pending returns the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Armed reports whether id identifies an event that is still queued:
+// not yet fired, not canceled. The generation check makes this safe to
+// ask about long-dead IDs even after their arena slot was reused.
+func (e *Engine) Armed(id EventID) bool {
+	if id.slot < 0 || int(id.slot) >= len(e.arena) {
+		return false
+	}
+	s := &e.arena[id.slot]
+	return s.gen == id.gen && s.pos >= 0
+}
 
-// Stop makes Run return after the currently executing event completes.
-// Safe to call from inside an event callback.
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Stop makes the in-progress Run/RunAll return after the currently
+// executing event completes. Safe to call from inside an event
+// callback. Calling Stop while no run is in progress makes the next
+// Run/RunAll return immediately (executing nothing); the pending stop
+// is consumed by that run.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in timestamp order until the queue drains, Stop is
@@ -170,8 +204,8 @@ func (e *Engine) Stop() { e.stopped = true }
 // until still run. It returns the time of the last executed event (or
 // the current time if nothing ran).
 func (e *Engine) Run(until Time) Time {
-	e.run(until)
-	if e.now < until && !e.stopped {
+	stopped := e.run(until)
+	if e.now < until && !stopped {
 		// Advance the clock to the horizon even when later events remain
 		// queued: Run(until) means "simulate up to until", so callers
 		// measuring elapsed time get the full window regardless of when
@@ -192,24 +226,133 @@ func (e *Engine) RunAll() Time {
 	return e.now
 }
 
-func (e *Engine) run(until Time) {
+func (e *Engine) run(until Time) (stopped bool) {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
 	e.running = true
-	e.stopped = false
-	defer func() { e.running = false }()
+	// The stop flag is consumed on exit, whether it was raised mid-run
+	// or before the run started (a pre-run Stop makes this run a no-op).
+	defer func() { e.running = false; e.stopped = false }()
 
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > until {
+	for len(e.heap) > 0 && !e.stopped {
+		top := e.heap[0]
+		s := &e.arena[top]
+		if s.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		e.now = ev.at
+		fn := s.fn
+		e.now = s.at
+		e.heapPopMin()
+		// Release before dispatch: the firing event's ID is dead from
+		// inside its own callback, and the slot may be reused there.
+		e.release(top)
 		e.Executed++
-		ev.fn()
+		fn()
 	}
+	return e.stopped
+}
+
+// ---- intrusive 4-ary min-heap over arena indices ----
+//
+// A 4-ary layout halves the tree depth of a binary heap, and the hole-
+// based sift loops below write each moved element exactly once. Order
+// is (at, seq) ascending — seq is the FIFO tie-break.
+
+// heapPush inserts slot i, sifting it up from the bottom.
+func (e *Engine) heapPush(i int32) {
+	e.heap = append(e.heap, i)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapPopMin removes the root (the earliest event). The caller has
+// already read the slot's fields.
+func (e *Engine) heapPopMin() {
+	h := e.heap
+	n := len(h) - 1
+	top := h[0]
+	last := h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.arena[last].pos = 0
+		e.siftDown(0)
+	}
+	e.arena[top].pos = -1
+}
+
+// heapRemove deletes the element at heap position pos (Cancel's path).
+func (e *Engine) heapRemove(pos int32) {
+	h := e.heap
+	n := len(h) - 1
+	i := int(pos)
+	removed := h[i]
+	last := h[n]
+	e.heap = h[:n]
+	if i < n {
+		e.heap[i] = last
+		e.arena[last].pos = pos
+		e.siftDown(i)
+		if e.arena[last].pos == pos {
+			// Didn't move down; it may need to move up instead.
+			e.siftUp(i)
+		}
+	}
+	e.arena[removed].pos = -1
+}
+
+// siftUp restores heap order by floating the element at index i toward
+// the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	moved := h[i]
+	mAt, mSeq := e.arena[moved].at, e.arena[moved].seq
+	for i > 0 {
+		p := (i - 1) >> 2
+		ps := &e.arena[h[p]]
+		if ps.at < mAt || (ps.at == mAt && ps.seq < mSeq) {
+			break
+		}
+		h[i] = h[p]
+		e.arena[h[i]].pos = int32(i)
+		i = p
+	}
+	h[i] = moved
+	e.arena[moved].pos = int32(i)
+}
+
+// siftDown restores heap order by sinking the element at index i.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	moved := h[i]
+	mAt, mSeq := e.arena[moved].at, e.arena[moved].seq
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		bs := &e.arena[h[c]]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			s := &e.arena[h[j]]
+			if s.at < bs.at || (s.at == bs.at && s.seq < bs.seq) {
+				best, bs = j, s
+			}
+		}
+		if bs.at > mAt || (bs.at == mAt && bs.seq >= mSeq) {
+			break
+		}
+		h[i] = h[best]
+		e.arena[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = moved
+	e.arena[moved].pos = int32(i)
 }
 
 // Timer is a restartable one-shot timer bound to an Engine, analogous to
@@ -219,6 +362,9 @@ type Timer struct {
 	e  *Engine
 	id EventID
 	fn func()
+	// fireFn is t.fire bound once at construction, so Reset does not
+	// allocate a fresh method-value closure on every rearm.
+	fireFn func()
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it fires.
@@ -226,14 +372,16 @@ func NewTimer(e *Engine, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil fn")
 	}
-	return &Timer{e: e, fn: fn}
+	t := &Timer{e: e, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Reset (re)arms the timer to fire after delay, canceling any pending
 // expiration.
 func (t *Timer) Reset(delay Time) {
 	t.e.Cancel(t.id)
-	t.id = t.e.Schedule(delay, t.fire)
+	t.id = t.e.Schedule(delay, t.fireFn)
 }
 
 // Stop disarms the timer. It reports whether a pending expiration was
@@ -244,9 +392,11 @@ func (t *Timer) Stop() bool {
 	return ok
 }
 
-// Armed reports whether the timer has a pending expiration.
+// Armed reports whether the timer has a pending expiration. It routes
+// through the engine's generation check, so a fired-then-reused event
+// slot is never misreported as armed.
 func (t *Timer) Armed() bool {
-	return t.id.ev != nil && !t.id.ev.canceled && t.id.ev.index >= 0
+	return t.e.Armed(t.id)
 }
 
 func (t *Timer) fire() {

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// This file checks the pooled-arena 4-ary heap engine against an
+// oracle: a frozen copy of the original container/heap implementation
+// the repo seeded with. Both engines are driven through the same
+// fuzz-derived script of schedules, cancels, and nested callbacks; any
+// divergence in (label, time) firing order is a determinism break.
+
+// ---- oracle: the seed engine, verbatim semantics ----
+
+type oracleEvent struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int
+	canceled bool
+}
+
+type oracleHeap []*oracleEvent
+
+func (h oracleHeap) Len() int { return len(h) }
+func (h oracleHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oracleHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *oracleHeap) Push(x any) {
+	ev := x.(*oracleEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *oracleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+type oracleEngine struct {
+	now   Time
+	seq   uint64
+	queue oracleHeap
+}
+
+func (e *oracleEngine) schedule(delay Time, fn func()) *oracleEvent {
+	if delay < 0 {
+		delay = 0
+	}
+	t := e.now + delay
+	e.seq++
+	ev := &oracleEvent{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+func (e *oracleEngine) cancel(ev *oracleEvent) bool {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+func (e *oracleEngine) runAll() {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*oracleEvent)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// ---- shared driver ----
+
+// engineAPI abstracts the two engines so one script drives both.
+type engineAPI struct {
+	schedule func(delay Time, fn func()) (cancel func() bool)
+	runAll   func()
+	now      func() Time
+}
+
+// driveScript interprets data as a schedule/cancel script: a handful of
+// root events, each callback possibly scheduling a child (tight delays,
+// so same-instant ties are common) and possibly canceling an earlier
+// event. It returns the (label, time) firing log.
+func driveScript(data []byte, api engineAPI) []int64 {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+
+	var log []int64
+	var cancels []func() bool
+	label := int64(0)
+	var mk func() func()
+	mk = func() func() {
+		l := label
+		label++
+		return func() {
+			log = append(log, l, int64(api.now()))
+			op := next()
+			if op&1 != 0 && label < 512 {
+				cancels = append(cancels, api.schedule(Time(next()&15), mk()))
+			}
+			if op&2 != 0 && len(cancels) > 0 {
+				cancels[int(next())%len(cancels)]()
+			}
+		}
+	}
+	roots := int(next())%12 + 2
+	for i := 0; i < roots; i++ {
+		cancels = append(cancels, api.schedule(Time(next()&7), mk()))
+	}
+	api.runAll()
+	return log
+}
+
+func realAPI(e *Engine) engineAPI {
+	return engineAPI{
+		schedule: func(d Time, fn func()) func() bool {
+			id := e.Schedule(d, fn)
+			return func() bool { return e.Cancel(id) }
+		},
+		runAll: func() { e.RunAll() },
+		now:    e.Now,
+	}
+}
+
+func oracleAPI(e *oracleEngine) engineAPI {
+	return engineAPI{
+		schedule: func(d Time, fn func()) func() bool {
+			ev := e.schedule(d, fn)
+			return func() bool { return e.cancel(ev) }
+		},
+		runAll: func() { e.runAll() },
+		now:    func() Time { return e.now },
+	}
+}
+
+// FuzzEngineHeapOrder asserts the 4-ary arena heap pops events in
+// exactly the (at, seq) order of the original container/heap engine,
+// under interleaved scheduling and cancellation from inside callbacks.
+func FuzzEngineHeapOrder(f *testing.F) {
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 1, 2, 3})
+	f.Add([]byte{12, 3, 3, 3, 3, 1, 4, 2, 9, 7, 7, 0, 1, 1, 2, 2})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := driveScript(data, realAPI(NewEngine()))
+		want := driveScript(data, oracleAPI(&oracleEngine{}))
+		if len(got) != len(want) {
+			t.Fatalf("fired %d records, oracle fired %d", len(got)/2, len(want)/2)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("divergence at record %d: engine %v, oracle %v", i/2, got[i:i+2], want[i:i+2])
+			}
+		}
+	})
+}

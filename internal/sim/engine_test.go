@@ -221,3 +221,122 @@ func TestEngineMonotonicClockProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEngineStopBeforeRunReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(Second, func() { ran++ })
+	e.Stop() // no run in progress: the *next* run must be a no-op
+	if got := e.Run(2 * Second); got != 0 {
+		t.Fatalf("stopped Run returned %v, want 0 (clock untouched)", got)
+	}
+	if ran != 0 {
+		t.Fatal("pre-run Stop was discarded: event executed")
+	}
+	// The pending stop is consumed; a subsequent run proceeds normally.
+	e.RunAll()
+	if ran != 1 {
+		t.Fatalf("run after consumed Stop executed %d events, want 1", ran)
+	}
+}
+
+func TestEngineStopBeforeRunAll(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(Microsecond, func() { ran = true })
+	e.Stop()
+	e.RunAll()
+	if ran {
+		t.Fatal("RunAll executed events despite pre-run Stop")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineCancelSameInstantFromCallback(t *testing.T) {
+	e := NewEngine()
+	var idB EventID
+	bRan := false
+	e.Schedule(Millisecond, func() {
+		if !e.Cancel(idB) {
+			t.Error("Cancel of a same-instant pending event returned false")
+		}
+	})
+	idB = e.Schedule(Millisecond, func() { bRan = true })
+	e.RunAll()
+	if bRan {
+		t.Fatal("event canceled from a same-instant callback still fired")
+	}
+}
+
+func TestTimerResetInsideOwnFire(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		fires++
+		if tm.Armed() {
+			t.Error("timer reports armed from inside its own fire")
+		}
+		if fires == 1 {
+			tm.Reset(Millisecond)
+		}
+	})
+	tm.Reset(Millisecond)
+	end := e.RunAll()
+	if fires != 2 {
+		t.Fatalf("timer fired %d times, want 2", fires)
+	}
+	if end != 2*Millisecond {
+		t.Fatalf("last fire at %v, want 2ms", end)
+	}
+	if tm.Armed() {
+		t.Fatal("timer armed after final fire")
+	}
+}
+
+func TestEventIDGenerationSurvivesSlotReuse(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	a := e.Schedule(Second, func() { t.Error("canceled event fired") })
+	if !e.Cancel(a) {
+		t.Fatal("Cancel of pending event returned false")
+	}
+	// b reuses a's arena slot (LIFO free list); a's ID must stay dead.
+	b := e.Schedule(Second, func() { fired++ })
+	if e.Armed(a) {
+		t.Fatal("stale EventID reports armed after slot reuse")
+	}
+	if !e.Armed(b) {
+		t.Fatal("live EventID reports unarmed")
+	}
+	if e.Cancel(a) {
+		t.Fatal("stale EventID canceled the slot's new occupant")
+	}
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("new occupant fired %d times, want 1", fired)
+	}
+	if e.Armed(b) || e.Cancel(b) {
+		t.Fatal("fired event still armed/cancelable")
+	}
+}
+
+func TestTimerArmedNotConfusedBySlotReuse(t *testing.T) {
+	e := NewEngine()
+	tm := NewTimer(e, func() {})
+	tm.Reset(Microsecond)
+	e.RunAll() // timer fires; its slot returns to the free list
+	// A fresh event grabs the freed slot; the timer must not claim it.
+	e.Schedule(Second, func() {})
+	if tm.Armed() {
+		t.Fatal("fired timer reports armed after its event slot was reused")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop of fired timer canceled another event")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (unrelated event must survive)", e.Pending())
+	}
+}

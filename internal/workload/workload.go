@@ -102,6 +102,11 @@ func RandomBijection(c *cluster.Cluster, rng *sim.RNG) *Elephants {
 	perm := crossPodPermutation(c, rng, n)
 	pairs := make([][2]packet.HostID, 0, n)
 	for i, d := range perm {
+		if i == d {
+			// Only the n==1 degenerate fallback produces a fixed point;
+			// a host never opens an elephant flow to itself.
+			continue
+		}
 		pairs = append(pairs, [2]packet.HostID{packet.HostID(i), packet.HostID(d)})
 	}
 	return startElephants(c, pairs)
@@ -122,20 +127,40 @@ func crossPod(c *cluster.Cluster, src, dst packet.HostID) bool {
 }
 
 // Random starts the random workload: each server picks a random
-// cross-pod destination; receivers may collide.
+// cross-pod destination; receivers may collide. Sources with no valid
+// cross-pod destination (degenerate topologies) are skipped rather
+// than retried forever.
 func Random(c *cluster.Cluster, rng *sim.RNG) *Elephants {
 	n := serverCount(c)
 	pairs := make([][2]packet.HostID, 0, n)
 	for i := 0; i < n; i++ {
-		for {
-			d := rng.Intn(n)
-			if crossPod(c, packet.HostID(i), packet.HostID(d)) {
-				pairs = append(pairs, [2]packet.HostID{packet.HostID(i), packet.HostID(d)})
-				break
-			}
+		if d, ok := randomCrossPodDst(c, rng, packet.HostID(i), n); ok {
+			pairs = append(pairs, [2]packet.HostID{packet.HostID(i), d})
 		}
 	}
 	return startElephants(c, pairs)
+}
+
+// randomCrossPodDst draws a cross-pod destination for src. The draw
+// loop is bounded: after maxDraws rejections it falls back to a
+// deterministic scan for the first valid destination, and reports
+// ok=false when the topology offers none at all (e.g. every other
+// host shares src's leaf) — the caller must not retry, or a degenerate
+// topology would hang the campaign runner.
+func randomCrossPodDst(c *cluster.Cluster, rng *sim.RNG, src packet.HostID, n int) (packet.HostID, bool) {
+	const maxDraws = 200
+	for attempt := 0; attempt < maxDraws; attempt++ {
+		d := packet.HostID(rng.Intn(n))
+		if crossPod(c, src, d) {
+			return d, true
+		}
+	}
+	for d := 0; d < n; d++ {
+		if crossPod(c, src, packet.HostID(d)) {
+			return packet.HostID(d), true
+		}
+	}
+	return 0, false
 }
 
 // PairsN starts n one-to-one elephant pairs: host i on the first leaf
@@ -150,8 +175,11 @@ func PairsN(c *cluster.Cluster, n int) *Elephants {
 }
 
 // crossPodPermutation draws random permutations until it finds one
-// with no fixed points or same-leaf assignments (retry bound keeps it
-// deterministic-ish; falls back to a rotation).
+// with no fixed points or same-leaf assignments. The draw loop is
+// bounded, and the fallback is a deterministic derangement, so even a
+// topology where the constraint is unsatisfiable (≤2 pods, or all
+// servers on one leaf) terminates instead of hanging the campaign
+// runner.
 func crossPodPermutation(c *cluster.Cluster, rng *sim.RNG, n int) []int {
 	for attempt := 0; attempt < 200; attempt++ {
 		p := rng.Perm(n)
@@ -166,12 +194,47 @@ func crossPodPermutation(c *cluster.Cluster, rng *sim.RNG, n int) []int {
 			return p
 		}
 	}
-	// Fallback: rotate by half (always cross-pod in a balanced Clos).
-	p := make([]int, n)
-	for i := range p {
-		p[i] = (i + n/2) % n
+	return fallbackDerangement(c, n)
+}
+
+// fallbackDerangement returns a deterministic assignment when random
+// search fails: the first rotation whose pairs are all cross-pod —
+// rotation by n/2 first, the always-valid shift in a balanced Clos
+// (and the historical fallback, so existing seeds keep their
+// artifacts) — else rotation by 1, a derangement for any n ≥ 2 even
+// when the cross-pod constraint is unsatisfiable. Only n == 1 yields
+// the identity, which callers must treat as "no valid pairing".
+func fallbackDerangement(c *cluster.Cluster, n int) []int {
+	rotation := func(k int) []int {
+		p := make([]int, n)
+		for i := range p {
+			p[i] = (i + k) % n
+		}
+		return p
 	}
-	return p
+	allCrossPod := func(p []int) bool {
+		for i, d := range p {
+			if !crossPod(c, packet.HostID(i), packet.HostID(d)) {
+				return false
+			}
+		}
+		return true
+	}
+	if n <= 1 {
+		return make([]int, n)
+	}
+	if p := rotation(n / 2); allCrossPod(p) {
+		return p
+	}
+	for k := 1; k < n; k++ {
+		if k == n/2 {
+			continue
+		}
+		if p := rotation(k); allCrossPod(p) {
+			return p
+		}
+	}
+	return rotation(1)
 }
 
 // serverCount returns the number of server hosts, excluding marked
@@ -396,12 +459,9 @@ func StartTrace(c *cluster.Cluster, rng *sim.RNG, meanInterarrival sim.Time, sca
 			if c.Eng.Now() >= until {
 				return
 			}
-			var dst packet.HostID
-			for {
-				dst = packet.HostID(r.Intn(n))
-				if crossPod(c, src, dst) {
-					break
-				}
+			dst, ok := randomCrossPodDst(c, r, src, n)
+			if !ok {
+				return // no valid destination exists; stop this generator
 			}
 			size := sizes.Sample()
 			conn := c.Dial(src, dst)

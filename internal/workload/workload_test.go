@@ -213,3 +213,45 @@ func TestRandomWorkloadOnSingleSwitch(t *testing.T) {
 		t.Fatal("trace workload idle on single switch")
 	}
 }
+
+func TestDegenerateTopologiesCannotHangWorkloads(t *testing.T) {
+	// Regression: a topology where the cross-pod constraint is
+	// unsatisfiable — two leaves but every non-remote server on one of
+	// them — used to spin forever in the draw-until-valid loops. All
+	// generators must terminate with bounded, deterministic fallbacks.
+	top := topo.TwoTierClos(1, 2, 1, 1, topo.LinkConfig{})
+	top.MarkRemote(packet.HostID(1)) // leaves host 0 as the only server
+	c := cluster.New(cluster.Config{Topology: top, Scheme: cluster.Presto, Seed: 7})
+
+	if e := Random(c, c.RNG()); len(e.Conns) != 0 {
+		t.Fatalf("Random on a 1-server topology opened %d flows, want 0", len(e.Conns))
+	}
+	if e := RandomBijection(c, c.RNG()); len(e.Conns) != 0 {
+		t.Fatalf("RandomBijection on a 1-server topology opened %d flows, want 0", len(e.Conns))
+	}
+	res := StartTrace(c, c.RNG(), sim.Millisecond, 1, 5*sim.Millisecond)
+	c.Eng.Run(10 * sim.Millisecond)
+	if res.Flows != 0 {
+		t.Fatalf("trace generator opened %d flows with no valid destination", res.Flows)
+	}
+}
+
+func TestCrossPodPermutationDerangementFallback(t *testing.T) {
+	// Three servers, two of them sharing a leaf: no permutation can be
+	// fully cross-pod (pigeonhole), so the fallback derangement must
+	// kick in — deterministic, and free of fixed points.
+	top := topo.TwoTierClos(1, 2, 1, 1, topo.LinkConfig{})
+	top.AddLeafHost(top.Leaves[0], 10_000_000_000, 0) // host 2 joins leaf 0
+	c := cluster.New(cluster.Config{Topology: top, Scheme: cluster.Presto, Seed: 11})
+
+	p := crossPodPermutation(c, c.RNG(), 3)
+	q := crossPodPermutation(c, c.RNG(), 3)
+	for i := range p {
+		if p[i] == i {
+			t.Fatalf("fallback permutation %v has a fixed point at %d", p, i)
+		}
+		if p[i] != q[i] {
+			t.Fatalf("fallback not deterministic: %v vs %v", p, q)
+		}
+	}
+}
