@@ -1,0 +1,172 @@
+// Command prestod serves experiment campaigns over HTTP: a
+// long-running daemon that accepts the same campaign specs
+// cmd/experiments runs, schedules them on a bounded job queue with
+// explicit backpressure, streams per-replica progress as NDJSON/SSE,
+// and serves the finished artifacts byte-identical to a CLI run.
+//
+//	prestod -addr 127.0.0.1:7377 -data /var/lib/prestod
+//
+//	curl -d '{"experiments":"fig7","seeds":3}' localhost:7377/v1/jobs
+//	curl localhost:7377/v1/jobs/job-000000/events        # NDJSON stream
+//	curl localhost:7377/v1/jobs/job-000000/artifacts/report.json
+//
+// SIGTERM/SIGINT drains gracefully: intake stops (readyz turns 503),
+// running jobs get -drain-timeout to finish, stragglers are cancelled,
+// and completed jobs' artifacts are flushed before exit. See
+// cmd/prestoctl for the matching client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"presto"
+	"presto/internal/campaign"
+	"presto/internal/server"
+	"presto/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run is the testable entry point. ready, when non-nil, receives the
+// bound listen address once the daemon accepts connections (tests use
+// -addr 127.0.0.1:0). Exit code 0 on clean shutdown, 2 on usage or
+// startup errors.
+func run(args []string, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("prestod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:7377", "listen address")
+		dataDir      = fs.String("data", "", "artifact directory (default: a fresh temp dir)")
+		queueDepth   = fs.Int("queue", 8, "job queue depth; a full queue rejects submissions with 429")
+		workers      = fs.Int("workers", 1, "jobs executed concurrently (each runs its own replica pool)")
+		ttl          = fs.Duration("ttl", time.Hour, "artifact retention after a job finishes (negative = keep forever)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM grace period for running jobs before they are cancelled")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request timeout for non-streaming endpoints")
+		cellTimeout  = fs.Duration("cell-timeout", 5*time.Minute, "default wall-clock budget per replica when the job spec sets none")
+		quiet        = fs.Bool("q", false, "suppress per-job log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(what string, err error) int {
+		fmt.Fprintf(stderr, "prestod: %s: %v\n", what, err)
+		return 2
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "[prestod] "+format+"\n", a...)
+	}
+	jobLogf := logf
+	if *quiet {
+		jobLogf = nil
+	}
+	srv, err := server.New(server.Config{
+		SpecBuilder:    specBuilder(*cellTimeout),
+		DataDir:        *dataDir,
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		ArtifactTTL:    *ttl,
+		RequestTimeout: *reqTimeout,
+		GitDescribe:    gitDescribe(),
+		Logf:           jobLogf,
+	})
+	if err != nil {
+		return fail("init", err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail("listen", err)
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	logf("listening on %s (data dir %s, queue %d, workers %d)", ln.Addr(), srv.DataDir(), *queueDepth, *workers)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fail("serve", err)
+	case <-ctx.Done():
+	}
+
+	logf("signal received; draining (timeout %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		logf("drain: %v", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("shutdown: %v", err)
+	}
+	logf("drained; exiting")
+	return 0
+}
+
+// specBuilder maps a JobRequest onto the same campaign spec
+// cmd/experiments builds for identical flags, so server-side runs are
+// byte-identical to CLI runs (the report carries no timing and result
+// ordering is spec-determined, not scheduling-determined).
+func specBuilder(defaultCellTimeout time.Duration) func(server.JobRequest) (*campaign.Spec, error) {
+	return func(req server.JobRequest) (*campaign.Spec, error) {
+		if req.Experiments == "" {
+			return nil, fmt.Errorf(`missing "experiments" (e.g. "fig7" or "all")`)
+		}
+		opt := presto.Options{
+			Duration: sim.FromDuration(time.Duration(req.Duration)),
+			Warmup:   sim.FromDuration(time.Duration(req.Warmup)),
+		}
+		spec, err := presto.CampaignSpec(req.Experiments, opt)
+		if err != nil {
+			return nil, err
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		nseeds := req.Seeds
+		if nseeds <= 0 {
+			nseeds = 1
+		}
+		spec.Seeds = campaign.Seeds(seed, nseeds)
+		spec.Parallelism = req.Parallelism
+		spec.CellTimeout = time.Duration(req.CellTimeout)
+		if spec.CellTimeout <= 0 {
+			spec.CellTimeout = defaultCellTimeout
+		}
+		return spec, nil
+	}
+}
+
+// gitDescribe stamps job manifests with the repository state; empty
+// outside a git checkout (mirrors cmd/experiments).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

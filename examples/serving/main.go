@@ -1,0 +1,125 @@
+// Serving: run an experiment campaign through an in-process prestod
+// server — submit, follow the event stream, and fetch the report —
+// using the same server.Client that cmd/prestoctl wraps. The daemon's
+// artifacts are byte-identical to a direct presto.RunCampaign of the
+// same spec, so serving is a deployment choice, not a results fork.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"presto"
+	"presto/internal/campaign"
+	"presto/internal/server"
+	"presto/internal/sim"
+)
+
+func main() {
+	// The daemon core is an http.Handler; embedding it takes a spec
+	// builder (how job requests become campaigns) and a data dir.
+	srv, err := server.New(server.Config{
+		SpecBuilder: buildSpec,
+		Workers:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv) }()
+	fmt.Printf("prestod serving on %s\n\n", ln.Addr())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := &server.Client{BaseURL: "http://" + ln.Addr().String()}
+
+	// Submit the GRO microbenchmark (fig5) with two seed replicas.
+	st, err := c.Submit(ctx, server.JobRequest{
+		Experiments: "fig5",
+		Seeds:       2,
+		Parallelism: 4,
+		Duration:    server.Duration(20 * time.Millisecond),
+		Warmup:      server.Duration(5 * time.Millisecond),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (%d cells x %d replicas)\n", st.ID, st.Cells, st.Replicas/max(st.Cells, 1))
+
+	// Follow the live event stream: state transitions and per-replica
+	// progress lines, exactly what `prestoctl events` prints.
+	err = c.Events(ctx, st.ID, 0, func(ev server.Event) error {
+		switch ev.Type {
+		case "state":
+			fmt.Printf("  [%s] -> %s\n", ev.Job, ev.State)
+		case "progress":
+			fmt.Printf("  [%s] %s\n", ev.Job, ev.Line)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.State != server.StateDone {
+		log.Fatalf("job %s: %s", final.State, final.Error)
+	}
+
+	// Fetch the report and read a headline number out of it.
+	raw, err := c.Artifact(ctx, st.ID, "report.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var report struct {
+		SpecHash string `json:"spec_hash"`
+		Cells    []struct {
+			ID        string                     `json:"id"`
+			Envelopes map[string]json.RawMessage `json:"envelopes"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreport.json: spec %s, %d cells, %d bytes\n", report.SpecHash, len(report.Cells), len(raw))
+	for _, cell := range report.Cells {
+		fmt.Printf("  %s  tput_gbps envelope %s\n", cell.ID, cell.Envelopes["tput_gbps"])
+	}
+	fmt.Println("\nThe same bytes come out of `experiments -run fig5 -seeds 2 -out DIR`:")
+	fmt.Println("results depend on the spec, never on where or how wide it ran.")
+}
+
+// buildSpec maps job requests onto real experiment campaigns — the
+// in-process equivalent of cmd/prestod's builder.
+func buildSpec(req server.JobRequest) (*campaign.Spec, error) {
+	spec, err := presto.CampaignSpec(req.Experiments, presto.Options{
+		Duration: sim.FromDuration(time.Duration(req.Duration)),
+		Warmup:   sim.FromDuration(time.Duration(req.Warmup)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	seeds := req.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	spec.Seeds = campaign.Seeds(1, seeds)
+	spec.Parallelism = req.Parallelism
+	spec.CellTimeout = time.Minute
+	return spec, nil
+}

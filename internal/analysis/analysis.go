@@ -197,13 +197,15 @@ func NormalizeImportPath(path string) string {
 
 // HarnessExempt reports whether importPath belongs to the harness
 // layer, which legitimately touches the wall clock: command-line
-// drivers (cmd/*), runnable examples (examples/*), and the campaign
+// drivers (cmd/*), runnable examples (examples/*), the campaign
 // runner (internal/campaign), which times replicas and enforces
-// wall-clock timeouts around the deterministic core.
+// wall-clock timeouts around the deterministic core, and the serving
+// layer (internal/server), which stamps job lifecycles, TTL-expires
+// artifacts, and measures HTTP request latencies for /metrics.
 func HarnessExempt(importPath string) bool {
 	for _, seg := range strings.Split(NormalizeImportPath(importPath), "/") {
 		switch seg {
-		case "cmd", "examples", "campaign":
+		case "cmd", "examples", "campaign", "server":
 			return true
 		}
 	}

@@ -28,6 +28,9 @@ func TestHarnessExempt(t *testing.T) {
 		"presto/cmd/experiments [presto/cmd/experiments.test]",
 		"presto/examples/quickstart",
 		"presto/internal/campaign",
+		"presto/internal/server",
+		"presto/cmd/prestod",
+		"presto/cmd/prestoctl [presto/cmd/prestoctl.test]",
 		"badfixture/cmd/tool",
 	}
 	for _, p := range exempt {

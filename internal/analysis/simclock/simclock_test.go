@@ -8,5 +8,5 @@ import (
 )
 
 func TestSimclock(t *testing.T) {
-	analysistest.Run(t, simclock.Analyzer, "simcore", "cmd/tool")
+	analysistest.Run(t, simclock.Analyzer, "simcore", "cmd/tool", "server/httpd")
 }

@@ -1,0 +1,16 @@
+// Package httpd is a simclock fixture for the serving-layer
+// exemption: under a server/ path, wall-clock use is allowed without
+// annotations (job lifecycle stamps, TTL expiry, request latencies).
+package httpd
+
+import "time"
+
+// Submitted stamps a job's intake time.
+func Submitted() time.Time {
+	return time.Now()
+}
+
+// Expired reports whether an artifact written at t has outlived ttl.
+func Expired(t time.Time, ttl time.Duration) bool {
+	return time.Since(t) > ttl
+}

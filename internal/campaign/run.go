@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -128,6 +129,17 @@ type timing struct {
 // errors are spec errors; replica failures are recorded in the report
 // (see Report.FailedReplicas) so sibling cells always complete.
 func Run(spec *Spec) (*Report, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the pool
+// stops dispatching, in-flight replicas are abandoned (each replica
+// goroutine still drains into its buffered channel and exits once its
+// RunFunc returns, so nothing leaks), and the call returns
+// context.Cause(ctx) with a nil report. Callers distinguish a
+// cancelled campaign from a failed one with errors.Is(err,
+// context.Canceled) (or DeadlineExceeded).
+func RunContext(ctx context.Context, spec *Spec) (*Report, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -166,10 +178,13 @@ func Run(spec *Spec) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the queue without running
+				}
 				cell := spec.Cells[j.ci]
 				seed := seeds[j.si]
 				start := time.Now()
-				res, err := runReplica(cell, seed, spec.CellTimeout, spec.Progress)
+				res, err := runReplica(ctx, cell, seed, spec.CellTimeout, spec.Progress)
 				wall := time.Since(start)
 				rr := ReplicaResult{Seed: seed, Metrics: res.Metrics}
 				if err != nil {
@@ -182,13 +197,21 @@ func Run(spec *Spec) (*Report, error) {
 			}
 		}()
 	}
+dispatch:
 	for ci := range spec.Cells {
 		for si := range seeds {
-			jobs <- job{ci, si}
+			select {
+			case jobs <- job{ci, si}:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	tm.mu.Lock()
 	tm.wall = time.Since(tm.started)
 	tm.mu.Unlock()
@@ -216,11 +239,13 @@ func Run(spec *Spec) (*Report, error) {
 	return rep, nil
 }
 
-// runReplica executes one cell × seed with panic capture and an
-// optional wall-clock timeout. On timeout the replica's goroutine is
-// abandoned: it cannot be preempted mid-simulation, so its eventual
-// result (or panic) drains into a buffered channel and is dropped.
-func runReplica(c Cell, seed uint64, timeout time.Duration, progress io.Writer) (Result, error) {
+// runReplica executes one cell × seed with panic capture, an optional
+// wall-clock timeout, and cancellation. On timeout or cancel the
+// replica's goroutine is abandoned: it cannot be preempted
+// mid-simulation, so its eventual result (or panic) drains into a
+// buffered channel — the goroutine exits on its own once RunFunc
+// returns — and is dropped.
+func runReplica(ctx context.Context, c Cell, seed uint64, timeout time.Duration, progress io.Writer) (Result, error) {
 	type outcome struct {
 		res Result
 		err error
@@ -240,15 +265,19 @@ func runReplica(c Cell, seed uint64, timeout time.Duration, progress io.Writer) 
 		res, err := c.Run(seed)
 		ch <- outcome{res: res, err: err}
 	}()
-	if timeout <= 0 {
-		o := <-ch
-		return o.res, o.err
+	var timeoutCh <-chan time.Time // nil (never fires) when no timeout
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutCh = t.C
 	}
 	select {
 	case o := <-ch:
 		return o.res, o.err
-	case <-time.After(timeout):
+	case <-timeoutCh:
 		return Result{}, fmt.Errorf("timeout after %v (replica abandoned)", timeout)
+	case <-ctx.Done():
+		return Result{}, fmt.Errorf("cancelled: %w", context.Cause(ctx))
 	}
 }
 

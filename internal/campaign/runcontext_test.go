@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancel proves that cancelling a campaign mid-flight
+// stops the pool promptly, returns context.Canceled (a cancelled
+// campaign, not a failed one), and leaks no goroutines once in-flight
+// replicas drain.
+func TestRunContextCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	var started, ran atomic.Int32
+	cells := make([]Cell, 8)
+	for i := range cells {
+		id := i
+		cells[i] = Cell{
+			Experiment: "cancel",
+			ID:         "cancel/point=" + string(rune('a'+id)),
+			Run: func(seed uint64) (Result, error) {
+				started.Add(1)
+				<-release // block until the test releases the replicas
+				ran.Add(1)
+				return Result{Metrics: Values{"v": 1}}, nil
+			},
+		}
+	}
+	spec := &Spec{Name: "cancel", Cells: cells, Parallelism: 2}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var rep *Report
+	var err error
+	go func() {
+		defer close(done)
+		rep, err = RunContext(ctx, spec)
+	}()
+
+	// Wait until both workers hold a replica, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if started.Load() < 2 {
+		t.Fatalf("workers never picked up replicas (started=%d)", started.Load())
+	}
+	cancel()
+
+	// RunContext must return promptly — well before the replicas are
+	// released — because runReplica selects on ctx.Done.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+	if rep != nil {
+		t.Errorf("cancelled campaign returned a report: %+v", rep)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+
+	// Release the abandoned replicas; their goroutines drain into the
+	// buffered outcome channels and exit, restoring the goroutine count.
+	close(release)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked after cancel: before=%d after=%d", before, n)
+	}
+	// Only the two in-flight replicas ever ran; cancellation stopped
+	// the remaining six from being dispatched.
+	if got := started.Load(); got != 2 {
+		t.Errorf("replicas started = %d, want 2 (dispatch must stop on cancel)", got)
+	}
+}
+
+// TestRunContextDeadline exercises the deadline path: a campaign whose
+// context expires reports DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	spec := &Spec{
+		Name: "deadline",
+		Cells: []Cell{{
+			Experiment: "deadline",
+			ID:         "deadline/0",
+			Run: func(seed uint64) (Result, error) {
+				<-block
+				return Result{}, nil
+			},
+		}},
+		Parallelism: 1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	rep, err := RunContext(ctx, spec)
+	if rep != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("RunContext = (%v, %v), want (nil, DeadlineExceeded)", rep, err)
+	}
+}
+
+// TestRunIsRunContextBackground pins the wrapper relationship: Run on
+// an uncancellable context completes normally.
+func TestRunIsRunContextBackground(t *testing.T) {
+	spec := synthSpec(2, []uint64{1}, 2)
+	rep, err := Run(spec)
+	if err != nil || rep == nil || len(rep.Cells) != 2 {
+		t.Fatalf("Run = (%v, %v), want 2-cell report", rep, err)
+	}
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"sync"
+)
+
+// Event is one entry of a job's event stream (GET
+// /v1/jobs/{id}/events). Type "state" marks lifecycle transitions
+// (the terminal one carries the artifact list), "progress" carries one
+// campaign progress line (one per completed replica plus the summary).
+type Event struct {
+	// Seq is the event's position in the job's stream, starting at 0;
+	// pass ?since=<seq> to resume a dropped stream after the last event
+	// received.
+	Seq       int      `json:"seq"`
+	Job       string   `json:"job"`
+	Type      string   `json:"type"`
+	State     State    `json:"state,omitempty"`
+	Line      string   `json:"line,omitempty"`
+	Error     string   `json:"error,omitempty"`
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// broker is a per-job event log with blocking subscribers: the full
+// history is retained (a campaign emits one progress line per replica,
+// so it is small and bounded by the spec), late subscribers replay it
+// from any cursor, and live ones block for more.
+type broker struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []Event
+	closed bool
+}
+
+func newBroker() *broker {
+	b := &broker{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// publish appends an event (stamping its Seq) and wakes subscribers.
+// Events after close are dropped.
+func (b *broker) publish(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	e.Seq = len(b.events)
+	b.events = append(b.events, e)
+	b.cond.Broadcast()
+}
+
+// close ends the stream; subscribers drain the history and stop.
+func (b *broker) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// wait returns the events at and after cursor, blocking until at least
+// one exists, the stream closes, or ctx is done. done reports that the
+// stream is closed and the returned slice reaches its end.
+func (b *broker) wait(ctx context.Context, cursor int) (evs []Event, done bool) {
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
+	defer stop()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for cursor >= len(b.events) && !b.closed && ctx.Err() == nil {
+		b.cond.Wait()
+	}
+	if cursor < len(b.events) {
+		evs = append([]Event(nil), b.events[cursor:]...)
+	}
+	return evs, b.closed
+}
+
+// progressWriter adapts the campaign's Progress io.Writer into
+// per-line broker events. The campaign writes progress lines under its
+// own lock but panic backtraces come straight from replica goroutines,
+// so the writer carries its own mutex.
+type progressWriter struct {
+	job    string
+	events *broker
+
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (w *progressWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		line := string(w.buf[:i])
+		w.buf = w.buf[i+1:]
+		if line != "" {
+			w.events.publish(Event{Job: w.job, Type: "progress", Line: line})
+		}
+	}
+}

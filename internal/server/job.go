@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"presto/internal/campaign"
+	"presto/internal/telemetry"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("150ms") and unmarshals from either a string or a bare nanosecond
+// count, so job specs stay human-writable.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its Go string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "150ms"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return err
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// JobRequest is the wire form of a campaign submission (POST
+// /v1/jobs). It carries exactly the knobs cmd/experiments exposes, so
+// any campaign runnable from the CLI can be submitted to the daemon
+// unchanged; the server's SpecBuilder maps it onto a campaign.Spec.
+type JobRequest struct {
+	// Experiments selects the cells: "all" or a comma-separated list of
+	// experiment IDs (fig1, fig5, ..., table1, table2, ablations).
+	Experiments string `json:"experiments"`
+	// Seed is the base random seed; replicas use seed, seed+1, ...
+	// (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Seeds is the number of seed replicas per cell (default 1).
+	Seeds int `json:"seeds,omitempty"`
+	// Parallelism bounds the job's worker pool; 0 means GOMAXPROCS.
+	// Results are byte-identical at any setting.
+	Parallelism int `json:"parallelism,omitempty"`
+	// CellTimeout is the wall-clock budget per replica (0 = server
+	// default).
+	CellTimeout Duration `json:"cell_timeout,omitempty"`
+	// Duration and Warmup are the per-run simulated windows (0 = the
+	// experiment defaults).
+	Duration Duration `json:"duration,omitempty"`
+	Warmup   Duration `json:"warmup,omitempty"`
+}
+
+// JobStatus is the wire form of a job's state (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID       string     `json:"id"`
+	State    State      `json:"state"`
+	Request  JobRequest `json:"request"`
+	SpecHash string     `json:"spec_hash,omitempty"`
+	Cells    int        `json:"cells"`
+	Replicas int        `json:"replicas"`
+	// ReplicasDone/Failed track live progress (from the job's campaign
+	// telemetry probe while running, final counts afterwards).
+	ReplicasDone   int        `json:"replicas_done"`
+	ReplicasFailed int        `json:"replicas_failed"`
+	Error          string     `json:"error,omitempty"`
+	Submitted      time.Time  `json:"submitted"`
+	Started        *time.Time `json:"started,omitempty"`
+	Finished       *time.Time `json:"finished,omitempty"`
+	// Artifacts lists the files servable under
+	// /v1/jobs/{id}/artifacts/ once the job is done.
+	Artifacts []string   `json:"artifacts,omitempty"`
+	ExpiresAt *time.Time `json:"expires_at,omitempty"`
+}
+
+// job is the server-side record of one submitted campaign.
+type job struct {
+	id       string
+	req      JobRequest
+	spec     *campaign.Spec
+	specHash string
+	cells    int
+	replicas int
+	reg      *telemetry.Registry // per-job registry: campaign probe
+	events   *broker
+	dir      string // artifact directory
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	artifacts []string
+	cancel    context.CancelCauseFunc // set while running
+}
+
+// newJob wires a validated spec into a job record: the spec's progress
+// stream and telemetry registry are owned by the server so events and
+// live counters flow through the job regardless of what the builder
+// set.
+func newJob(id string, req JobRequest, spec *campaign.Spec, dir string) *job {
+	nseeds := len(spec.Seeds)
+	if nseeds == 0 {
+		nseeds = 1
+	}
+	j := &job{
+		id:        id,
+		req:       req,
+		spec:      spec,
+		specHash:  spec.Hash(),
+		cells:     len(spec.Cells),
+		replicas:  len(spec.Cells) * nseeds,
+		reg:       telemetry.NewRegistry(nil),
+		events:    newBroker(),
+		dir:       dir,
+		state:     StatePending,
+		submitted: time.Now(),
+	}
+	spec.Telemetry = j.reg
+	spec.Progress = &progressWriter{job: id, events: j.events}
+	j.events.publish(Event{Job: id, Type: "state", State: StatePending})
+	return j
+}
+
+// begin transitions pending → running; false means the job was
+// cancelled while queued and must not run.
+func (j *job) begin(cancel context.CancelCauseFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StatePending {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records a terminal state and closes the event stream. A job
+// already terminal (cancelled while pending) is left untouched.
+func (j *job) finish(state State, errmsg string, artifacts []string) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.err = errmsg
+	j.finished = time.Now()
+	j.artifacts = artifacts
+	j.cancel = nil
+	j.mu.Unlock()
+	j.events.publish(Event{Job: j.id, Type: "state", State: state, Error: errmsg, Artifacts: artifacts})
+	j.events.close()
+}
+
+// requestCancel cancels the job: a pending job terminates immediately,
+// a running one has its context cancelled (the campaign pool stops
+// dispatching and abandons in-flight replicas, which drain on their
+// own). reason is surfaced in the job's error field.
+func (j *job) requestCancel(reason string) {
+	j.mu.Lock()
+	switch j.state {
+	case StatePending:
+		j.state = StateCancelled
+		j.err = reason
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.events.publish(Event{Job: j.id, Type: "state", State: StateCancelled, Error: reason})
+		j.events.close()
+	case StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			// Wrap Canceled so campaign.RunContext's returned cause still
+			// satisfies errors.Is(err, context.Canceled) while carrying
+			// the human-readable reason.
+			cancel(fmt.Errorf("%s: %w", reason, context.Canceled))
+		}
+	default:
+		j.mu.Unlock()
+	}
+}
+
+// progress reads the live replica counters from the job's campaign
+// telemetry probe (registered by campaign.RunContext).
+func (j *job) progress() (done, failed int) {
+	snap := j.reg.Snapshot(0)
+	if snap == nil {
+		return 0, 0
+	}
+	c, ok := snap.Components["campaign"]
+	if !ok {
+		return 0, 0
+	}
+	return asInt(c["replicas_done"]), asInt(c["replicas_failed"])
+}
+
+// status snapshots the job's wire representation. ttl > 0 computes the
+// artifact expiry for terminal jobs.
+func (j *job) status(ttl time.Duration) *JobStatus {
+	done, failed := j.progress()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		ID:             j.id,
+		State:          j.state,
+		Request:        j.req,
+		SpecHash:       j.specHash,
+		Cells:          j.cells,
+		Replicas:       j.replicas,
+		ReplicasDone:   done,
+		ReplicasFailed: failed,
+		Error:          j.err,
+		Submitted:      j.submitted,
+		Artifacts:      append([]string(nil), j.artifacts...),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.state.Terminal() && ttl > 0 {
+		t := j.finished.Add(ttl)
+		st.ExpiresAt = &t
+	}
+	return st
+}
+
+// stateNow returns the current state.
+func (j *job) stateNow() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// expired reports whether the job's artifacts have outlived ttl.
+func (j *job) expired(now time.Time, ttl time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal() && ttl > 0 && now.Sub(j.finished) >= ttl
+}
+
+// asInt coerces probe values (int, int64, uint64, float64) to int.
+func asInt(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case int64:
+		return int(x)
+	case uint64:
+		return int(x)
+	case float64:
+		return int(x)
+	}
+	return 0
+}

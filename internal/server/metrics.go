@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"presto/internal/telemetry"
+)
+
+// requestStats aggregates HTTP request latencies per route for the
+// "http" server probe (and through it /metrics).
+type requestStats struct {
+	mu      sync.Mutex
+	byRoute map[string]*routeStats
+}
+
+type routeStats struct {
+	count   uint64
+	errors  uint64 // responses with status >= 400
+	totalMS float64
+	maxMS   float64
+}
+
+func newRequestStats() *requestStats {
+	return &requestStats{byRoute: make(map[string]*routeStats)}
+}
+
+func (s *requestStats) observe(route string, code int, d time.Duration) {
+	ms := float64(d) / 1e6
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.byRoute[route]
+	if rs == nil {
+		rs = &routeStats{}
+		s.byRoute[route] = rs
+	}
+	rs.count++
+	if code >= 400 {
+		rs.errors++
+	}
+	rs.totalMS += ms
+	if ms > rs.maxMS {
+		rs.maxMS = ms
+	}
+}
+
+// probe reports per-route request counters as a nested map
+// (route → counters), flattened to dotted keys by the snapshot layer.
+func (s *requestStats) probe() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]any, len(s.byRoute))
+	for route, rs := range s.byRoute {
+		m := map[string]any{
+			"count":    rs.count,
+			"errors":   rs.errors,
+			"total_ms": rs.totalMS,
+			"max_ms":   rs.maxMS,
+		}
+		if rs.count > 0 {
+			m["mean_ms"] = rs.totalMS / float64(rs.count)
+		}
+		out[route] = m
+	}
+	return out
+}
+
+// writePrometheus renders a telemetry snapshot in Prometheus text
+// exposition format: every numeric probe value becomes one gauge named
+// presto_<component>_<metric>, names sanitized to the metric charset
+// and emitted in sorted order so the endpoint is deterministic for a
+// given snapshot.
+func writePrometheus(w io.Writer, snap *telemetry.Snapshot) error {
+	type metric struct {
+		name  string
+		value float64
+	}
+	var metrics []metric
+	for comp, probe := range snap.Components {
+		flat := make(map[string]float64)
+		flattenNumeric("", probe, flat)
+		for k, v := range flat {
+			metrics = append(metrics, metric{promName(comp + "_" + k), v})
+		}
+	}
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", m.name, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flattenNumeric walks a probe map, keeping numeric (and boolean)
+// leaves under dotted keys; strings and other values are skipped.
+func flattenNumeric(prefix string, m map[string]any, out map[string]float64) {
+	for k, v := range m {
+		key := k
+		if prefix != "" {
+			key = prefix + "." + k
+		}
+		switch x := v.(type) {
+		case map[string]any:
+			flattenNumeric(key, x, out)
+		case bool:
+			if x {
+				out[key] = 1
+			} else {
+				out[key] = 0
+			}
+		case int:
+			out[key] = float64(x)
+		case int64:
+			out[key] = float64(x)
+		case uint64:
+			out[key] = float64(x)
+		case float64:
+			out[key] = x
+		}
+	}
+}
+
+// promName maps a component/metric key to the Prometheus metric
+// charset [a-zA-Z0-9_], prefixed presto_.
+func promName(s string) string {
+	var b strings.Builder
+	b.WriteString("presto_")
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

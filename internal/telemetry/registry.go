@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"presto/internal/metrics"
 	"presto/internal/sim"
@@ -19,7 +20,13 @@ type ProbeFunc func() map[string]any
 // Registry is the central collection point for per-component probes
 // and the (optional) event tracer. A nil *Registry disables the whole
 // layer: every method is a nil-receiver-safe no-op.
+//
+// Registration and snapshots are safe for concurrent use: the
+// campaign runner registers its probe from a worker goroutine while
+// prestod's HTTP handlers snapshot live progress. Probe functions run
+// under the registry lock and must not call back into it.
 type Registry struct {
+	mu     sync.Mutex
 	tracer *Tracer
 	names  []string
 	probes map[string]ProbeFunc
@@ -50,6 +57,8 @@ func (r *Registry) BeginRun(label string) string {
 	if r == nil {
 		return ""
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.tracer.BeginRun(label)
 	r.runs++
 	if r.runs == 1 {
@@ -63,6 +72,8 @@ func (r *Registry) Register(name string, fn ProbeFunc) {
 	if r == nil || fn == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.probes[name]; !dup {
 		r.names = append(r.names, name)
 	}
@@ -82,6 +93,8 @@ func (r *Registry) Snapshot(now sim.Time) *Snapshot {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := &Snapshot{TakenAtNs: int64(now), Components: make(map[string]map[string]any, len(r.names))}
 	for _, name := range r.names {
 		s.Components[name] = r.probes[name]()
