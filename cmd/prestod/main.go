@@ -28,6 +28,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -67,7 +68,12 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 
+	// logf is shared with server worker goroutines via Config.Logf, so
+	// writes must serialize: stderr may be any io.Writer in tests.
+	var logMu sync.Mutex
 	logf := func(format string, a ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
 		fmt.Fprintf(stderr, "[prestod] "+format+"\n", a...)
 	}
 	jobLogf := logf

@@ -11,9 +11,10 @@ import (
 // (the terminal one carries the artifact list), "progress" carries one
 // campaign progress line (one per completed replica plus the summary).
 type Event struct {
-	// Seq is the event's position in the job's stream, starting at 0;
-	// pass ?since=<seq> to resume a dropped stream after the last event
-	// received.
+	// Seq is the event's position in the job's stream, starting at 0.
+	// ?since=<seq> names the first event to deliver (inclusive), so a
+	// client resuming a dropped stream passes lastSeq+1 to avoid
+	// re-processing the last event it already received.
 	Seq       int      `json:"seq"`
 	Job       string   `json:"job"`
 	Type      string   `json:"type"`

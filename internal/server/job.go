@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -37,8 +38,12 @@ func (d Duration) MarshalJSON() ([]byte, error) {
 	return json.Marshal(time.Duration(d).String())
 }
 
-// UnmarshalJSON accepts "150ms"-style strings or integer nanoseconds.
+// UnmarshalJSON accepts "150ms"-style strings or integer nanoseconds;
+// null leaves the duration unset.
 func (d *Duration) UnmarshalJSON(b []byte) error {
+	if bytes.Equal(b, []byte("null")) {
+		return nil
+	}
 	if len(b) > 0 && b[0] == '"' {
 		var s string
 		if err := json.Unmarshal(b, &s); err != nil {
@@ -193,6 +198,18 @@ func (j *job) finish(state State, errmsg string, artifacts []string) {
 // dispatching and abandons in-flight replicas, which drain on their
 // own). reason is surfaced in the job's error field.
 func (j *job) requestCancel(reason string) {
+	j.doCancel(reason, false)
+}
+
+// cancelIfPending cancels the job only while it is still pending.
+// Drain uses it so a job a worker dequeued between Drain's snapshot
+// and this call is left to finish within the drain deadline instead of
+// having its context cancelled the moment it starts.
+func (j *job) cancelIfPending(reason string) {
+	j.doCancel(reason, true)
+}
+
+func (j *job) doCancel(reason string, pendingOnly bool) {
 	j.mu.Lock()
 	switch j.state {
 	case StatePending:
@@ -205,12 +222,13 @@ func (j *job) requestCancel(reason string) {
 	case StateRunning:
 		cancel := j.cancel
 		j.mu.Unlock()
-		if cancel != nil {
-			// Wrap Canceled so campaign.RunContext's returned cause still
-			// satisfies errors.Is(err, context.Canceled) while carrying
-			// the human-readable reason.
-			cancel(fmt.Errorf("%s: %w", reason, context.Canceled))
+		if pendingOnly || cancel == nil {
+			return
 		}
+		// Wrap Canceled so campaign.RunContext's returned cause still
+		// satisfies errors.Is(err, context.Canceled) while carrying
+		// the human-readable reason.
+		cancel(fmt.Errorf("%s: %w", reason, context.Canceled))
 	default:
 		j.mu.Unlock()
 	}

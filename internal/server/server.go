@@ -499,8 +499,12 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	// cancelIfPending re-checks state under the job lock: a job a
+	// worker dequeued since the snapshot above is now running, and
+	// running jobs get the full drain deadline rather than an
+	// immediate context cancellation.
 	for _, j := range pending {
-		j.requestCancel("server draining")
+		j.cancelIfPending("server draining")
 	}
 
 	done := make(chan struct{})

@@ -568,6 +568,12 @@ func TestDurationJSON(t *testing.T) {
 	if err != nil || string(b) != `"150ms"` {
 		t.Errorf("marshal = %s, %v", b, err)
 	}
+	if err := jsonUnmarshal(`{"experiments":"x","cell_timeout":null}`, &req); err != nil {
+		t.Errorf("null duration rejected: %v", err)
+	}
+	if req.CellTimeout != 0 {
+		t.Errorf("null cell_timeout = %v, want 0", req.CellTimeout)
+	}
 }
 
 func jsonUnmarshal(s string, v any) error {
