@@ -6,6 +6,8 @@
 //	prestoctl list
 //	prestoctl status job-000000
 //	prestoctl events job-000000           # stream NDJSON events
+//	prestoctl stats job-000000            # one frame of live percentiles (p50/p95/p99/p999)
+//	prestoctl stats -follow job-000000    # stream frames until the job is terminal
 //	prestoctl wait job-000000             # block until terminal; exit 1 unless done
 //	prestoctl cancel job-000000
 //	prestoctl fetch job-000000 -dir out/  # download report.json/report.csv/manifest.json
@@ -45,7 +47,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, stdin io.
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://127.0.0.1:7377", "prestod base URL")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: prestoctl [-addr URL] <submit|list|status|events|wait|cancel|fetch> [args]\n")
+		fmt.Fprintf(stderr, "usage: prestoctl [-addr URL] <submit|list|status|events|stats|wait|cancel|fetch> [args]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -162,6 +164,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, stdin io.
 		}
 		enc := json.NewEncoder(stdout)
 		err := c.Events(ctx, rest[0], 0, func(ev server.Event) error { return enc.Encode(ev) })
+		if err != nil {
+			return fail(err)
+		}
+		return 0
+
+	case "stats":
+		sub := flag.NewFlagSet("stats", flag.ContinueOnError)
+		sub.SetOutput(stderr)
+		follow := sub.Bool("follow", false, "stream frames until the job is terminal")
+		interval := sub.Duration("interval", 0, "frame cadence when following (default: server's 500ms)")
+		if err := sub.Parse(rest); err != nil {
+			return 2
+		}
+		if sub.NArg() != 1 {
+			fmt.Fprintln(stderr, "usage: prestoctl stats [-follow] [-interval D] <job-id>")
+			return 2
+		}
+		enc := json.NewEncoder(stdout)
+		err := c.Stats(ctx, sub.Arg(0), *follow, *interval, func(f server.StatsFrame) error {
+			return enc.Encode(f)
+		})
 		if err != nil {
 			return fail(err)
 		}

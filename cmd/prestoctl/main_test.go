@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"presto/internal/campaign"
+	"presto/internal/metrics"
 	"presto/internal/server"
 )
 
@@ -24,7 +25,14 @@ func testDaemon(t *testing.T) string {
 				Experiment: "synth",
 				ID:         id,
 				Run: func(seed uint64) (campaign.Result, error) {
-					return campaign.Result{Metrics: campaign.Values{"v": base * float64(seed)}}, nil
+					d := &metrics.Dist{}
+					for k := 0; k < 50; k++ {
+						d.Add(base + float64(seed) + float64(k))
+					}
+					return campaign.Result{
+						Metrics: campaign.Values{"v": base * float64(seed)},
+						Dists:   map[string]*metrics.Dist{"lat": d},
+					}, nil
 				},
 			}
 		}
@@ -135,6 +143,53 @@ func TestSubmitWaitFetch(t *testing.T) {
 	}
 	if got := strings.Join(states, ","); got != "pending,running,done" {
 		t.Errorf("event states %q, want pending,running,done", got)
+	}
+}
+
+// TestStatsCommand exercises `prestoctl stats` one-shot and -follow
+// against a finished job.
+func TestStatsCommand(t *testing.T) {
+	url := testDaemon(t)
+	code, out, _ := runCtl(t, url, `{"experiments":"synth","seeds":2}`, "submit", "-")
+	if code != 0 {
+		t.Fatalf("submit exited %d", code)
+	}
+	var st server.JobStatus
+	jsonMust(t, out, &st)
+	if code, _, _ = runCtl(t, url, "", "wait", st.ID); code != 0 {
+		t.Fatalf("wait exited %d", code)
+	}
+
+	code, out, _ = runCtl(t, url, "", "stats", st.ID)
+	if code != 0 {
+		t.Fatalf("stats exited %d", code)
+	}
+	var frame server.StatsFrame
+	jsonMust(t, out, &frame)
+	if frame.State != server.StateDone || !frame.Final {
+		t.Fatalf("frame = %+v, want done/final", frame)
+	}
+	if len(frame.Dists) != 1 || frame.Dists[0].Name != "lat" || frame.Dists[0].N != 200 {
+		t.Fatalf("dists = %+v, want lat with 200 samples", frame.Dists)
+	}
+	if d := frame.Dists[0]; d.P50 <= 0 || d.P999 < d.P50 {
+		t.Fatalf("bad percentiles: %+v", d)
+	}
+
+	// -follow on a terminal job delivers the final frame and exits.
+	code, out, _ = runCtl(t, url, "", "stats", "-follow", st.ID)
+	if code != 0 {
+		t.Fatalf("stats -follow exited %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	jsonMust(t, lines[len(lines)-1], &frame)
+	if frame.State != server.StateDone {
+		t.Fatalf("followed frame state = %s", frame.State)
+	}
+
+	// Unknown job → exit 2.
+	if code, _, _ = runCtl(t, url, "", "stats", "job-999999"); code != 2 {
+		t.Fatalf("stats on unknown job exited %d, want 2", code)
 	}
 }
 

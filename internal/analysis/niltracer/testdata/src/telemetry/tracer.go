@@ -69,6 +69,49 @@ func (t *Tracer) Count() int { // want `must be a no-op`
 	return len(t.events)
 }
 
+// Good: a guard that returns an error value (the spill/stream
+// surfaces return errors rather than being void).
+func (t *Tracer) Spill() error {
+	if t == nil {
+		return nil
+	}
+	t.events = nil
+	return nil
+}
+
+// Bad: an index expression on a receiver field is a dereference (the
+// ring buffer's overwrite-in-place path).
+func (t *Tracer) Overwrite(i int, v int64) { // want `must be a no-op`
+	t.events[i] = v
+}
+
+// Decoder reassembles streamed snapshot deltas; nil is a decoder that
+// was never constructed and must read as empty.
+type Decoder struct {
+	seq   uint64
+	state map[string]int64
+}
+
+// Good: guard first, then lazily initialize and mutate.
+func (d *Decoder) Apply(k string, v int64) {
+	if d == nil {
+		return
+	}
+	if d.state == nil {
+		d.state = map[string]int64{}
+	}
+	d.state[k] = v
+	d.seq++
+}
+
+// Good: nil-compare only.
+func (d *Decoder) Ready() bool { return d != nil }
+
+// Bad: returns a field with no guard.
+func (d *Decoder) Seq() uint64 { // want `must be a no-op`
+	return d.seq
+}
+
 // Unexported methods are outside the contract (callers inside the
 // package guard at the boundary).
 func (t *Tracer) drain() []int64 {

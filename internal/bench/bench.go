@@ -4,20 +4,23 @@
 // which runs them via testing.Benchmark and writes the machine-readable
 // BENCH_*.json artifacts the CI perf gate compares against.
 //
-// The two headline benchmarks are allocation-gated: EngineScheduleRun
-// and PrestoGROFlush must report 0 allocs/op in steady state (the
-// event arena and the sorted-insert GRO path exist to make that true),
-// and the CI bench-smoke job fails on >20% allocs/op regressions
-// against the committed baseline.
+// The headline benchmarks are allocation-gated: EngineScheduleRun,
+// PrestoGROFlush, and TelemetryEmitRing must report 0 allocs/op in
+// steady state (the event arena, the sorted-insert GRO path, and the
+// tracer's overwrite-in-place ring exist to make that true), and the
+// CI bench-smoke job fails on >20% allocs/op regressions against the
+// committed baseline.
 package bench
 
 import (
+	"fmt"
 	"testing"
 
 	presto "presto"
 	"presto/internal/gro"
 	"presto/internal/packet"
 	"presto/internal/sim"
+	"presto/internal/telemetry"
 )
 
 // Short trims the end-to-end benchmark windows; cmd/prestobench -short
@@ -43,6 +46,8 @@ func Suite() []Spec {
 		{Name: "EngineTimerReset", Fn: EngineTimerReset, Gated: true},
 		{Name: "PrestoGROFlush", Fn: PrestoGROFlush, Gated: true},
 		{Name: "PrestoGROReorderWindow", Fn: PrestoGROReorderWindow, Gated: true},
+		{Name: "TelemetryEmitRing", Fn: TelemetryEmitRing, Gated: true},
+		{Name: "TelemetrySnapshotDelta", Fn: TelemetrySnapshotDelta, Gated: true},
 		{Name: "ClusterEndToEnd", Fn: ClusterEndToEnd, Gated: false},
 	}
 }
@@ -173,6 +178,46 @@ func PrestoGROReorderWindow(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		window()
+	}
+}
+
+// TelemetryEmitRing measures Emit in ring mode past the wrap point:
+// the tracer overwrites the oldest slot in place, so the per-event
+// cost every traced component pays in a bounded-memory run must be
+// allocation-free in steady state.
+func TelemetryEmitRing(b *testing.B) {
+	tr := telemetry.NewTracer()
+	tr.SetRing(1024)
+	for i := 0; i < 2048; i++ {
+		tr.FlowcellEmit(sim.Time(i), 1, uint32(i), i&7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.FlowcellEmit(sim.Time(i), 1, uint32(i), i&7)
+	}
+}
+
+// TelemetrySnapshotDelta measures one incremental-snapshot step over a
+// mostly-quiet registry: 16 static components plus one hot counter, so
+// each delta carries a single changed cell. This is the steady-state
+// cost of streaming live observability at a fixed cadence; allocations
+// here scale with probe count, not run length, and are gated.
+func TelemetrySnapshotDelta(b *testing.B) {
+	reg := telemetry.NewRegistry(nil)
+	for i := 0; i < 16; i++ {
+		static := map[string]any{"a": uint64(1), "b": uint64(2)}
+		reg.Register(fmt.Sprintf("comp%02d", i), func() map[string]any { return static })
+	}
+	var hot uint64
+	reg.Register("hot", func() map[string]any { return map[string]any{"n": hot} })
+	ss := reg.Stream(1 << 30) // steady state: no periodic keyframes
+	ss.Next(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hot++
+		ss.Next(sim.Time(i + 1))
 	}
 }
 

@@ -12,4 +12,9 @@ func BenchmarkPrestoGROReorderWindow(b *testing.B) {
 	Short = testing.Short()
 	PrestoGROReorderWindow(b)
 }
+func BenchmarkTelemetryEmitRing(b *testing.B) { Short = testing.Short(); TelemetryEmitRing(b) }
+func BenchmarkTelemetrySnapshotDelta(b *testing.B) {
+	Short = testing.Short()
+	TelemetrySnapshotDelta(b)
+}
 func BenchmarkClusterEndToEnd(b *testing.B) { Short = testing.Short(); ClusterEndToEnd(b) }

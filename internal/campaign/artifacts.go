@@ -103,6 +103,26 @@ func mergeDists(reps []ReplicaResult, raw []Result) map[string]*metrics.Dist {
 	return out
 }
 
+// sketchDists converts each merged distribution into a quantile
+// sketch at the default relative-error bound, for the report
+// artifact. Samples fold in stored (seed) order, and a sketch's JSON
+// form sorts its buckets, so the output is deterministic.
+func sketchDists(dists map[string]*metrics.Dist) map[string]*metrics.Sketch {
+	if len(dists) == 0 {
+		return nil
+	}
+	out := make(map[string]*metrics.Sketch, len(dists))
+	for name, d := range dists {
+		if sk := d.Sketch(metrics.DefaultSketchAlpha); sk != nil {
+			out[name] = sk
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // WriteJSON writes the report as indented JSON. encoding/json sorts
 // map keys, and the report carries no timing, so the bytes depend only
 // on the spec and seeds — not on parallelism.

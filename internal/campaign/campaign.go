@@ -77,6 +77,11 @@ type Spec struct {
 	// Telemetry, when non-nil, gets a "campaign" probe (replicas
 	// completed/failed, worker utilization, slowest replicas).
 	Telemetry *telemetry.Registry
+	// Stats, when non-nil, accumulates mergeable quantile sketches of
+	// every replica distribution as replicas finish, for live
+	// percentile reporting (see LiveStats). When Telemetry is also
+	// set, the accumulator is registered as the "stats" probe.
+	Stats *LiveStats
 }
 
 // Seeds returns n consecutive seeds starting at base — the common

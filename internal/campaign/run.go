@@ -32,6 +32,12 @@ type CellResult struct {
 	Replicas   []ReplicaResult `json:"replicas"`
 	// Envelopes summarise each metric over the successful replicas.
 	Envelopes map[string]Envelope `json:"envelopes,omitempty"`
+	// Sketches carry each merged distribution as a quantile sketch at
+	// metrics.DefaultSketchAlpha, so report.json stays O(buckets) per
+	// distribution and downstream tools can re-derive any percentile.
+	// Built from the seed-ordered merged samples, so the bytes are
+	// deterministic at any parallelism.
+	Sketches map[string]*metrics.Sketch `json:"sketches,omitempty"`
 
 	dists map[string]*metrics.Dist
 }
@@ -160,6 +166,9 @@ func RunContext(ctx context.Context, spec *Spec) (*Report, error) {
 		cellWall:    make(map[string]time.Duration),
 	}
 	spec.Telemetry.Register("campaign", tm.probe)
+	if spec.Stats != nil {
+		spec.Telemetry.Register("stats", spec.Stats.probe)
+	}
 
 	// results[cell][seed] — indexed writes keep ordering deterministic
 	// no matter which worker finishes when.
@@ -193,6 +202,9 @@ func RunContext(ctx context.Context, spec *Spec) (*Report, error) {
 				}
 				results[j.ci][j.si] = rr
 				raw[j.ci][j.si] = res
+				if err == nil {
+					spec.Stats.observe(res)
+				}
 				tm.finish(spec.Progress, cell.ID, seed, wall, err)
 			}
 		}()
@@ -224,12 +236,14 @@ dispatch:
 		timing:   tm,
 	}
 	for i, c := range spec.Cells {
+		dists := mergeDists(results[i], raw[i])
 		rep.Cells[i] = CellResult{
 			Experiment: c.Experiment,
 			ID:         c.ID,
 			Replicas:   results[i],
 			Envelopes:  aggregate(results[i]),
-			dists:      mergeDists(results[i], raw[i]),
+			Sketches:   sketchDists(dists),
+			dists:      dists,
 		}
 	}
 	if spec.Progress != nil {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -166,6 +167,59 @@ func (c *Client) Events(ctx context.Context, id string, since int, fn func(Event
 			return fmt.Errorf("decoding event: %w", err)
 		}
 		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
+}
+
+// Stats fetches the job's live percentile frames. With follow false a
+// single frame is delivered; with follow true frames arrive at the
+// server's cadence (or every interval, when > 0) until the job is
+// terminal — the last frame has Final set. fn's error aborts the
+// stream and is returned.
+func (c *Client) Stats(ctx context.Context, id string, follow bool, interval time.Duration, fn func(StatsFrame) error) error {
+	path := "/v1/jobs/" + id + "/stats"
+	var params []string
+	if follow {
+		params = append(params, "follow=1")
+	}
+	if interval > 0 {
+		params = append(params, "interval="+interval.String())
+	}
+	if len(params) > 0 {
+		path += "?" + strings.Join(params, "&")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var f StatsFrame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return fmt.Errorf("decoding stats frame: %w", err)
+		}
+		if err := fn(f); err != nil {
 			return err
 		}
 	}

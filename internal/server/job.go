@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"presto/internal/campaign"
+	"presto/internal/metrics"
 	"presto/internal/telemetry"
 )
 
@@ -120,6 +121,7 @@ type job struct {
 	cells    int
 	replicas int
 	reg      *telemetry.Registry // per-job registry: campaign probe
+	stats    *campaign.LiveStats // live quantile sketches per distribution
 	events   *broker
 	dir      string // artifact directory
 
@@ -150,12 +152,14 @@ func newJob(id string, req JobRequest, spec *campaign.Spec, dir string) *job {
 		cells:     len(spec.Cells),
 		replicas:  len(spec.Cells) * nseeds,
 		reg:       telemetry.NewRegistry(nil),
+		stats:     campaign.NewLiveStats(metrics.DefaultSketchAlpha),
 		events:    newBroker(),
 		dir:       dir,
 		state:     StatePending,
 		submitted: time.Now(),
 	}
 	spec.Telemetry = j.reg
+	spec.Stats = j.stats
 	spec.Progress = &progressWriter{job: id, events: j.events}
 	j.events.publish(Event{Job: id, Type: "state", State: StatePending})
 	return j

@@ -14,6 +14,7 @@
 //	GET    /v1/jobs/{id}                  one job's status
 //	DELETE /v1/jobs/{id}                  cancel (pending jobs die immediately; running ones have their context cancelled)
 //	GET    /v1/jobs/{id}/events[?since=N] stream events: NDJSON, or SSE with Accept: text/event-stream
+//	GET    /v1/jobs/{id}/stats            live sketch-derived percentiles (one frame; ?follow=1 streams until terminal)
 //	GET    /v1/jobs/{id}/artifacts        list artifact names
 //	GET    /v1/jobs/{id}/artifacts/{name} serve one artifact verbatim
 //	GET    /healthz                       liveness (200 while the process runs)
@@ -154,6 +155,7 @@ func New(cfg Config) (*Server, error) {
 	s.reg = telemetry.NewRegistry(nil)
 	s.reg.Register("server", s.probe)
 	s.reg.Register("http", s.stats.probe)
+	s.reg.Register("stats", s.statsProbe)
 	s.mux = http.NewServeMux()
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
@@ -187,6 +189,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/jobs/{id}", "status", true, s.handleStatus)
 	s.handle("DELETE /v1/jobs/{id}", "cancel", true, s.handleCancel)
 	s.handle("GET /v1/jobs/{id}/events", "events", false, s.handleEvents)
+	s.handle("GET /v1/jobs/{id}/stats", "stats", false, s.handleStats)
 	s.handle("GET /v1/jobs/{id}/artifacts", "artifact-list", true, s.handleArtifactList)
 	s.handle("GET /v1/jobs/{id}/artifacts/{name}", "artifact", true, s.handleArtifact)
 }

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"presto/internal/metrics"
+)
+
+// DistStats is one distribution's live sketch-derived tail summary.
+type DistStats struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+}
+
+// StatsFrame is one frame of a job's live-percentile stream (GET
+// /v1/jobs/{id}/stats): the job's progress plus p50/p95/p99/p999 of
+// every distribution observed so far, derived from mergeable quantile
+// sketches as replicas finish — available mid-run, long before
+// report.json exists. The closing frame of a followed stream has
+// Final set.
+type StatsFrame struct {
+	Job            string      `json:"job"`
+	State          State       `json:"state"`
+	ReplicasDone   int         `json:"replicas_done"`
+	ReplicasFailed int         `json:"replicas_failed"`
+	Final          bool        `json:"final,omitempty"`
+	Dists          []DistStats `json:"dists"`
+}
+
+// statsFrame snapshots the job's live percentiles.
+func (j *job) statsFrame(final bool) StatsFrame {
+	done, failed := j.progress()
+	f := StatsFrame{
+		Job:            j.id,
+		State:          j.stateNow(),
+		ReplicasDone:   done,
+		ReplicasFailed: failed,
+		Final:          final,
+		Dists:          []DistStats{},
+	}
+	for _, name := range j.stats.Names() {
+		sk := j.stats.Sketch(name)
+		if sk == nil {
+			continue
+		}
+		f.Dists = append(f.Dists, DistStats{
+			Name: name,
+			N:    sk.N(),
+			P50:  sk.Quantile(0.50),
+			P95:  sk.Quantile(0.95),
+			P99:  sk.Quantile(0.99),
+			P999: sk.Quantile(0.999),
+		})
+	}
+	return f
+}
+
+// handleStats serves GET /v1/jobs/{id}/stats: one frame of live
+// percentiles, or — with ?follow=1 — a stream of frames every
+// ?interval (default 500ms, floor 20ms) until the job reaches a
+// terminal state, closing with a Final frame. NDJSON by default, SSE
+// with Accept: text/event-stream.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	q := r.URL.Query()
+	follow := q.Get("follow") != "" && q.Get("follow") != "0" && q.Get("follow") != "false"
+	interval := 500 * time.Millisecond
+	if v := q.Get("interval"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad interval=%q", v)
+			return
+		}
+		if d < 20*time.Millisecond {
+			d = 20 * time.Millisecond
+		}
+		interval = d
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	emit := func(f StatsFrame) error {
+		if sse {
+			data, err := json.Marshal(f)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "event: stats\ndata: %s\n\n", data); err != nil {
+				return err
+			}
+		} else if err := enc.Encode(f); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	terminal := frameIsFinal(j)
+	if err := emit(j.statsFrame(terminal)); err != nil || !follow || terminal {
+		return
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+		terminal := frameIsFinal(j)
+		if err := emit(j.statsFrame(terminal)); err != nil || terminal {
+			return
+		}
+	}
+}
+
+// frameIsFinal reports whether the job has reached a terminal state —
+// the frame emitted now reflects every replica that will ever run.
+func frameIsFinal(j *job) bool { return j.stateNow().Terminal() }
+
+// statsProbe merges live sketches across every retained job into one
+// quantile gauge set per distribution name — the "stats" component of
+// the server registry, surfacing presto_stats_<dist>_p99-style gauges
+// on /metrics. Sketch merging is order-independent, so the gauges are
+// deterministic for a given set of observed replicas.
+func (s *Server) statsProbe() map[string]any {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+
+	merged := make(map[string]*metrics.Sketch)
+	var replicas uint64
+	for _, j := range jobs {
+		replicas += j.stats.Replicas()
+		for _, name := range j.stats.Names() {
+			sk := j.stats.Sketch(name)
+			if sk == nil {
+				continue
+			}
+			if acc := merged[name]; acc == nil {
+				merged[name] = sk
+			} else {
+				acc.Merge(sk)
+			}
+		}
+	}
+	m := map[string]any{"replicas_observed": replicas}
+	for name, sk := range merged {
+		m[name+".n"] = sk.N()
+		m[name+".p50"] = sk.Quantile(0.50)
+		m[name+".p95"] = sk.Quantile(0.95)
+		m[name+".p99"] = sk.Quantile(0.99)
+		m[name+".p999"] = sk.Quantile(0.999)
+	}
+	return m
+}

@@ -9,6 +9,24 @@ import (
 	"sort"
 )
 
+// eventRecord builds the self-describing JSONL record for one event —
+// the schema shared by WriteJSONL and the tracer's spill sink.
+func eventRecord(ev *Event) map[string]any {
+	an, bn := ev.Kind.argNames()
+	rec := map[string]any{
+		"ts_ns": int64(ev.At),
+		"run":   ev.Run,
+		"event": ev.Kind.String(),
+		"actor": fmt.Sprintf("%s%d", ev.Actor.Kind, ev.Actor.ID),
+		an:      ev.A,
+		bn:      ev.B,
+	}
+	if ev.Reason != "" {
+		rec["reason"] = ev.Reason
+	}
+	return rec
+}
+
 // WriteJSONL writes the buffered events as JSON Lines: one
 // self-describing object per line, in emission order. A nil Tracer is
 // the disabled state and writes nothing.
@@ -17,21 +35,9 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
-	for i := range t.Events() {
-		ev := &t.events[i]
-		an, bn := ev.Kind.argNames()
-		rec := map[string]any{
-			"ts_ns": int64(ev.At),
-			"run":   ev.Run,
-			"event": ev.Kind.String(),
-			"actor": fmt.Sprintf("%s%d", ev.Actor.Kind, ev.Actor.ID),
-			an:      ev.A,
-			bn:      ev.B,
-		}
-		if ev.Reason != "" {
-			rec["reason"] = ev.Reason
-		}
-		line, err := json.Marshal(rec)
+	events := t.Events()
+	for i := range events {
+		line, err := json.Marshal(eventRecord(&events[i]))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+)
+
+// spillSink is the tracer's on-disk overflow: gzip-compressed JSON
+// Lines, one eventRecord object per line, in emission order. Chunks
+// are appended whenever the in-memory buffer fills, so the file plus
+// the remaining buffer always hold the full trace (CloseSpill drains
+// the remainder to make the file complete on its own).
+type spillSink struct {
+	f  *os.File
+	gz *gzip.Writer
+	bw *bufio.Writer
+}
+
+func newSpillSink(path string) (*spillSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	gz := gzip.NewWriter(f)
+	return &spillSink{f: f, gz: gz, bw: bufio.NewWriterSize(gz, 64<<10)}, nil
+}
+
+func (s *spillSink) writeEvent(ev *Event) error {
+	line, err := json.Marshal(eventRecord(ev))
+	if err != nil {
+		return err
+	}
+	if _, err := s.bw.Write(line); err != nil {
+		return err
+	}
+	return s.bw.WriteByte('\n')
+}
+
+// close flushes all layers and closes the file, returning the first
+// error encountered.
+func (s *spillSink) close() error {
+	err := s.bw.Flush()
+	if e := s.gz.Close(); err == nil {
+		err = e
+	}
+	if e := s.f.Close(); err == nil {
+		err = e
+	}
+	return err
+}

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"presto/internal/sim"
+)
+
+// Delta is one frame of an incremental snapshot stream: the values
+// that changed since the frame it chains from (Base), in columnar
+// form — parallel Components/Keys/Values arrays of flattened dotted
+// metric keys, sorted by component then key so the encoding is
+// deterministic. A keyframe carries the complete state and resets the
+// chain, so a reader can join mid-stream at any keyframe.
+type Delta struct {
+	Seq       uint64 `json:"seq"`
+	Base      uint64 `json:"base"`
+	Keyframe  bool   `json:"keyframe,omitempty"`
+	TakenAtNs int64  `json:"taken_at_ns"`
+
+	Components []string `json:"components"`
+	Keys       []string `json:"keys"`
+	Values     []any    `json:"values"`
+
+	// Keys present in frame Base but absent now (rare: a probe stopped
+	// reporting a metric). Parallel arrays, same ordering rule.
+	RemovedComponents []string `json:"removed_components,omitempty"`
+	RemovedKeys       []string `json:"removed_keys,omitempty"`
+}
+
+// SnapshotStream turns a registry's probes into a sequence of Deltas:
+// each Next() runs the probes once and emits only what changed since
+// the previous frame, with a full keyframe first and then every
+// keyframeEvery frames. Like the registry itself, a nil stream is a
+// disabled no-op. Not safe for concurrent use.
+type SnapshotStream struct {
+	reg      *Registry
+	every    int
+	seq      uint64
+	sinceKey int
+	state    map[string]map[string]any // flattened previous frame
+}
+
+// Stream returns an incremental snapshot stream over r's probes,
+// emitting a full keyframe every keyframeEvery frames (<= 0 means
+// only the initial keyframe). Returns nil on a nil registry.
+func (r *Registry) Stream(keyframeEvery int) *SnapshotStream {
+	if r == nil {
+		return nil
+	}
+	return &SnapshotStream{reg: r, every: keyframeEvery}
+}
+
+// Next runs every probe and returns the next frame: a keyframe when
+// due, otherwise only the values that changed since the previous
+// frame. Returns nil on a nil stream.
+func (ss *SnapshotStream) Next(now sim.Time) *Delta {
+	if ss == nil {
+		return nil
+	}
+	flat := ss.reg.Snapshot(now).Flat()
+	ss.seq++
+	key := ss.seq == 1 || (ss.every > 0 && ss.sinceKey+1 >= ss.every)
+	if key {
+		ss.sinceKey = 0
+	} else {
+		ss.sinceKey++
+	}
+
+	d := &Delta{Seq: ss.seq, Base: ss.seq - 1, Keyframe: key, TakenAtNs: int64(now)}
+	comps := make([]string, 0, len(flat))
+	for name := range flat {
+		comps = append(comps, name)
+	}
+	sort.Strings(comps)
+	for _, name := range comps {
+		m := flat[name]
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		prev := ss.state[name]
+		for _, k := range keys {
+			v := m[k]
+			if !key {
+				if pv, ok := prev[k]; ok && reflect.DeepEqual(pv, v) {
+					continue
+				}
+			}
+			d.Components = append(d.Components, name)
+			d.Keys = append(d.Keys, k)
+			d.Values = append(d.Values, v)
+		}
+	}
+
+	// Keys that vanished since the previous frame (skip on keyframes:
+	// the full restatement already excludes them).
+	if !key {
+		prevComps := make([]string, 0, len(ss.state))
+		for name := range ss.state {
+			prevComps = append(prevComps, name)
+		}
+		sort.Strings(prevComps)
+		for _, name := range prevComps {
+			cur := flat[name]
+			keys := make([]string, 0, len(ss.state[name]))
+			for k := range ss.state[name] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if _, ok := cur[k]; !ok {
+					d.RemovedComponents = append(d.RemovedComponents, name)
+					d.RemovedKeys = append(d.RemovedKeys, k)
+				}
+			}
+		}
+	}
+
+	ss.state = flat
+	return d
+}
+
+// StreamDecoder reassembles a Delta sequence back into full flattened
+// state. It verifies frame chaining: a non-keyframe whose Base does
+// not match the last applied Seq is rejected, and a keyframe resets
+// the state so a decoder can join a stream at any keyframe.
+type StreamDecoder struct {
+	seq   uint64
+	at    int64
+	state map[string]map[string]any
+}
+
+// NewStreamDecoder returns an empty decoder.
+func NewStreamDecoder() *StreamDecoder {
+	return &StreamDecoder{state: make(map[string]map[string]any)}
+}
+
+// Apply folds one frame into the decoder's state. Returns an error on
+// a chaining gap or malformed columns; nil frames and nil decoders
+// are no-ops.
+func (sd *StreamDecoder) Apply(d *Delta) error {
+	if sd == nil || d == nil {
+		return nil
+	}
+	if len(d.Components) != len(d.Keys) || len(d.Keys) != len(d.Values) {
+		return fmt.Errorf("telemetry: delta seq %d has ragged columns (%d/%d/%d)",
+			d.Seq, len(d.Components), len(d.Keys), len(d.Values))
+	}
+	if len(d.RemovedComponents) != len(d.RemovedKeys) {
+		return fmt.Errorf("telemetry: delta seq %d has ragged removed columns", d.Seq)
+	}
+	if d.Keyframe {
+		sd.state = make(map[string]map[string]any)
+	} else if d.Base != sd.seq {
+		return fmt.Errorf("telemetry: delta gap: decoder at seq %d, frame chains from %d", sd.seq, d.Base)
+	}
+	for i, name := range d.Components {
+		m := sd.state[name]
+		if m == nil {
+			m = make(map[string]any)
+			sd.state[name] = m
+		}
+		m[d.Keys[i]] = d.Values[i]
+	}
+	for i, name := range d.RemovedComponents {
+		if m := sd.state[name]; m != nil {
+			delete(m, d.RemovedKeys[i])
+			if len(m) == 0 {
+				delete(sd.state, name)
+			}
+		}
+	}
+	sd.seq = d.Seq
+	sd.at = d.TakenAtNs
+	return nil
+}
+
+// Seq returns the sequence number of the last applied frame.
+func (sd *StreamDecoder) Seq() uint64 {
+	if sd == nil {
+		return 0
+	}
+	return sd.seq
+}
+
+// TakenAtNs returns the timestamp of the last applied frame.
+func (sd *StreamDecoder) TakenAtNs() int64 {
+	if sd == nil {
+		return 0
+	}
+	return sd.at
+}
+
+// State returns the reconstructed flattened state (component →
+// flattened metric key → value). The returned maps are the decoder's
+// live state; callers must not modify them.
+func (sd *StreamDecoder) State() map[string]map[string]any {
+	if sd == nil {
+		return nil
+	}
+	return sd.state
+}

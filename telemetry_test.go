@@ -1,8 +1,12 @@
 package presto
 
 import (
+	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"presto/internal/cluster"
@@ -20,14 +24,10 @@ func shortOpt(reg *telemetry.Registry) Options {
 	}
 }
 
-// TestTelemetryDoesNotPerturbResults is the determinism regression
-// test: the same seed must produce bit-identical metrics whether the
-// telemetry layer (tracer + probes + link monitor) is on or off.
-func TestTelemetryDoesNotPerturbResults(t *testing.T) {
-	plain := RunWorkload(SysPresto, Stride, shortOpt(nil))
-	reg := telemetry.NewRegistry(telemetry.NewTracer())
-	traced := RunWorkload(SysPresto, Stride, shortOpt(reg))
-
+// sameLoadResult asserts every workload metric of two runs is
+// bit-identical — the core of the telemetry determinism regression.
+func sameLoadResult(t *testing.T, plain, traced LoadResult) {
+	t.Helper()
 	if plain.MeanTput != traced.MeanTput {
 		t.Errorf("MeanTput diverged: %v vs %v", plain.MeanTput, traced.MeanTput)
 	}
@@ -58,6 +58,17 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 			t.Fatalf("FCT sample %d diverged: %v vs %v", i, fa[i], fb[i])
 		}
 	}
+}
+
+// TestTelemetryDoesNotPerturbResults is the determinism regression
+// test: the same seed must produce bit-identical metrics whether the
+// telemetry layer (tracer + probes + link monitor) is on or off.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	plain := RunWorkload(SysPresto, Stride, shortOpt(nil))
+	reg := telemetry.NewRegistry(telemetry.NewTracer())
+	traced := RunWorkload(SysPresto, Stride, shortOpt(reg))
+
+	sameLoadResult(t, plain, traced)
 	if traced.Telemetry == nil {
 		t.Fatal("traced run has no snapshot")
 	}
@@ -67,6 +78,150 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 	if len(reg.Tracer().Events()) == 0 {
 		t.Fatal("traced run recorded no events")
 	}
+}
+
+// TestTelemetryBoundedModesDoNotPerturbResults extends the
+// determinism regression to the bounded-memory paths: a small
+// ring-buffer tracer spilling compressed JSONL to disk must leave
+// every workload metric bit-identical to an untraced run.
+func TestTelemetryBoundedModesDoNotPerturbResults(t *testing.T) {
+	plain := RunWorkload(SysPresto, Stride, shortOpt(nil))
+
+	tr := telemetry.NewTracer()
+	tr.SetRing(512)
+	spillPath := filepath.Join(t.TempDir(), "trace.jsonl.gz")
+	if err := tr.SpillTo(spillPath); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry(tr)
+	traced := RunWorkload(SysPresto, Stride, shortOpt(reg))
+	if err := tr.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+
+	sameLoadResult(t, plain, traced)
+
+	if err := tr.SpillError(); err != nil {
+		t.Fatalf("spill sink failed: %v", err)
+	}
+	if tr.Spilled() == 0 {
+		t.Fatal("a 512-slot ring over a full run spilled nothing")
+	}
+	if tr.Overwritten() != 0 {
+		t.Errorf("spill mode overwrote %d events; spill should preempt the ring", tr.Overwritten())
+	}
+	// The spill file alone is the complete trace: gzip JSONL, one
+	// event per line, Spilled() lines in total.
+	f, err := os.Open(spillPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(gz)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var lines uint64
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("spill line %d is not JSON: %v", lines, err)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != tr.Spilled() {
+		t.Errorf("spill file has %d events, tracer spilled %d", lines, tr.Spilled())
+	}
+	if len(tr.Events()) != 0 {
+		t.Errorf("CloseSpill left %d events buffered", len(tr.Events()))
+	}
+}
+
+// TestIncrementalSnapshotsDoNotPerturbRun drives the same seeded
+// cluster twice — once plain, once with an incremental snapshot
+// stream sampled between engine chunks — and checks the switch-level
+// counters stay bit-identical while the reassembled decoder state
+// matches a full snapshot taken at the end.
+func TestIncrementalSnapshotsDoNotPerturbRun(t *testing.T) {
+	const horizon = 30 * sim.Millisecond
+
+	ref := cluster.New(cluster.Config{
+		Topology: Testbed(),
+		Scheme:   cluster.Presto,
+		Seed:     42,
+	})
+	workload.Stride(ref, 8)
+	ref.Eng.Run(horizon)
+
+	reg := telemetry.NewRegistry(telemetry.NewTracer())
+	c := cluster.New(cluster.Config{
+		Topology:  Testbed(),
+		Scheme:    cluster.Presto,
+		Seed:      42,
+		Telemetry: reg,
+	})
+	workload.Stride(c, 8)
+	ss := reg.Stream(4)
+	dec := telemetry.NewStreamDecoder()
+	var deltas, keyframes int
+	for until := 2 * sim.Millisecond; until <= horizon; until += 2 * sim.Millisecond {
+		c.Eng.Run(until)
+		d := ss.Next(c.Eng.Now())
+		if err := dec.Apply(d); err != nil {
+			t.Fatalf("delta %d: %v", deltas, err)
+		}
+		deltas++
+		if d.Keyframe {
+			keyframes++
+		}
+	}
+	if keyframes < 2 {
+		t.Fatalf("expected periodic keyframes over %d deltas, got %d", deltas, keyframes)
+	}
+
+	for i, h := range ref.Hosts {
+		th := c.Hosts[i]
+		if h.VS.Stats.Flowcells != th.VS.Stats.Flowcells {
+			t.Errorf("host %d flowcells diverged: %d vs %d", i, h.VS.Stats.Flowcells, th.VS.Stats.Flowcells)
+		}
+		if h.NIC.GRO().Stats().SegmentsOut != th.NIC.GRO().Stats().SegmentsOut {
+			t.Errorf("host %d GRO segments diverged: %d vs %d",
+				i, h.NIC.GRO().Stats().SegmentsOut, th.NIC.GRO().Stats().SegmentsOut)
+		}
+	}
+
+	// The incrementally reassembled state equals a full snapshot taken
+	// at the same instant (both sides normalized through JSON so Go
+	// integer widths don't matter).
+	wantNorm := normalizeJSON(t, reg.Snapshot(c.Eng.Now()).Flat())
+	gotNorm := normalizeJSON(t, dec.State())
+	if !bytes.Equal(wantNorm, gotNorm) {
+		t.Errorf("decoder state != full snapshot\n got: %.400s\nwant: %.400s", gotNorm, wantNorm)
+	}
+}
+
+// normalizeJSON round-trips v through JSON so numeric types erase to
+// float64 and map keys sort, yielding comparable bytes.
+func normalizeJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm any
+	if err := json.Unmarshal(raw, &norm); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
 
 // TestTelemetryCountersConsistent pins the accounting invariants: each
