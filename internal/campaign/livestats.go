@@ -57,8 +57,12 @@ func (ls *LiveStats) observe(res Result) {
 			ls.dists[name] = sk
 			continue
 		}
-		// Same alpha by construction; Merge cannot fail.
-		acc.Merge(sk)
+		// Dist.Sketch re-buckets to ls.alpha, so Merge succeeds; the
+		// fallback keeps a surprise mismatch from silently dropping a
+		// replica's samples.
+		if err := acc.Merge(sk); err != nil {
+			acc.Merge(sk.Rebucket(acc.Alpha()))
+		}
 	}
 }
 

@@ -55,12 +55,17 @@ func (d *Dist) SpillAt(n int, alpha float64) {
 // for a sketch (percentiles are approximate, Samples returns nil).
 func (d *Dist) SketchBacked() bool { return d.sketch != nil }
 
-// Sketch returns a quantile sketch of the distribution: the live
-// sketch's clone when sketch-backed, otherwise a fresh sketch of the
-// raw samples at the given alpha. Returns nil for an empty Dist.
+// Sketch returns a quantile sketch of the distribution at the given
+// alpha: a fresh sketch of the raw samples, or — when sketch-backed —
+// the live sketch's clone, re-bucketed if its alpha differs from the
+// request (see Sketch.Rebucket for the compounded error bound), so
+// the result always merges cleanly with peers built at alpha. An
+// out-of-range alpha means "whatever the backing sketch has" (raw
+// samples fall back to DefaultSketchAlpha). Returns nil for an empty
+// Dist.
 func (d *Dist) Sketch(alpha float64) *Sketch {
 	if d.sketch != nil {
-		return d.sketch.Clone()
+		return d.sketch.Rebucket(alpha)
 	}
 	if len(d.samples) == 0 {
 		return nil

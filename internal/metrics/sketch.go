@@ -214,6 +214,36 @@ func (s *Sketch) Merge(o *Sketch) error {
 	return nil
 }
 
+// Rebucket returns a copy of the sketch re-bucketed at a different
+// relative accuracy, so sketches built at mismatched alphas can still
+// be merged. Counts, sum, mean, min, and max carry over exactly; each
+// bucket's representative value is re-hashed into the target grid, so
+// the quantile error bound of the result loosens to roughly
+// s.Alpha() + alpha (the two grids' errors compound). With the same
+// alpha (or an out-of-range one) this is just Clone.
+func (s *Sketch) Rebucket(alpha float64) *Sketch {
+	if s == nil {
+		return nil
+	}
+	if alpha == s.alpha || !(alpha > 0 && alpha < 1) {
+		return s.Clone()
+	}
+	r := NewSketch(alpha)
+	for k, c := range s.pos {
+		r.pos[r.key(s.bucketValue(k))] += c
+	}
+	for k, c := range s.neg {
+		r.neg[r.key(s.bucketValue(k))] += c
+	}
+	r.zero = s.zero
+	r.n = s.n
+	r.sum = s.sum
+	r.sumsq = s.sumsq
+	r.min = s.min
+	r.max = s.max
+	return r
+}
+
 // Clone returns an independent deep copy (nil for a nil receiver).
 func (s *Sketch) Clone() *Sketch {
 	if s == nil {
@@ -419,5 +449,29 @@ func (s *Sketch) UnmarshalJSON(data []byte) error {
 	if err := load(s.pos, j.Pos); err != nil {
 		return err
 	}
-	return load(s.neg, j.Neg)
+	if err := load(s.neg, j.Neg); err != nil {
+		return err
+	}
+	// Cross-field consistency: a hand-edited or truncated artifact must
+	// fail loudly here, not yield silently wrong quantiles later.
+	var mass uint64
+	for _, c := range s.pos {
+		mass += c
+	}
+	for _, c := range s.neg {
+		mass += c
+	}
+	mass += s.zero
+	if mass != s.n {
+		return fmt.Errorf("metrics: sketch n=%d disagrees with bucket mass %d", s.n, mass)
+	}
+	if s.n > 0 {
+		if j.Min == nil || j.Max == nil {
+			return fmt.Errorf("metrics: sketch with n=%d is missing min/max", s.n)
+		}
+		if !(s.min <= s.max) {
+			return fmt.Errorf("metrics: sketch min %g > max %g", s.min, s.max)
+		}
+	}
+	return nil
 }

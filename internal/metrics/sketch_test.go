@@ -260,6 +260,12 @@ func TestSketchJSONRejectsBadInput(t *testing.T) {
 		`{"schema":"presto-sketch/1","alpha":0}`,
 		`{"schema":"presto-sketch/1","alpha":1.5}`,
 		`{"schema":"presto-sketch/1","alpha":0.01,"pos":[[1,-2]]}`,
+		// n disagrees with zero + bucket mass.
+		`{"schema":"presto-sketch/1","alpha":0.01,"n":5,"min":1,"max":2,"pos":[[1,2]]}`,
+		// min > max.
+		`{"schema":"presto-sketch/1","alpha":0.01,"n":2,"min":3,"max":1,"pos":[[1,2]]}`,
+		// Non-empty but missing min/max.
+		`{"schema":"presto-sketch/1","alpha":0.01,"n":2,"pos":[[1,2]]}`,
 	} {
 		if err := json.Unmarshal([]byte(bad), &s); err == nil {
 			t.Errorf("accepted bad sketch %s", bad)
@@ -293,6 +299,46 @@ func TestSketchNegativeOnly(t *testing.T) {
 		if re := relErr(s.Quantile(q), exact[rank]); re > 0.01+1e-9 {
 			t.Errorf("negative-only q=%v relative error %.4g", q, re)
 		}
+	}
+}
+
+// TestSketchRebucket: re-bucketing to a different alpha must keep the
+// exact stats bit-identical, keep quantiles within the compounded
+// bound alpha_old + alpha_new, and make the result mergeable with
+// sketches built natively at the target alpha.
+func TestSketchRebucket(t *testing.T) {
+	const from, to = 0.005, 0.02
+	samples := adversarialSamples(100_000, 11)
+	src := NewSketch(from)
+	for _, v := range samples {
+		src.Add(v)
+	}
+	r := src.Rebucket(to)
+	if r.Alpha() != to {
+		t.Fatalf("Alpha = %v, want %v", r.Alpha(), to)
+	}
+	if r.N() != src.N() || r.Sum() != src.Sum() || r.Min() != src.Min() || r.Max() != src.Max() {
+		t.Fatal("exact stats drifted through Rebucket")
+	}
+	exact := append([]float64(nil), samples...)
+	sort.Float64s(exact)
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+		rank := int(q * float64(len(exact)-1))
+		if re := relErr(r.Quantile(q), exact[rank]); re > from+to+1e-9 {
+			t.Errorf("q=%v relative error %.4g > %.4g after rebucket", q, re, from+to)
+		}
+	}
+	if err := NewSketch(to).Merge(r); err != nil {
+		t.Fatalf("rebucketed sketch does not merge at target alpha: %v", err)
+	}
+	// Same (or invalid) alpha degenerates to an independent clone.
+	c := src.Rebucket(from)
+	c.Add(1)
+	if c.N() != src.N()+1 || src.Quantile(0.5) != src.Rebucket(0).Quantile(0.5) {
+		t.Fatal("same-alpha Rebucket must be an independent clone")
+	}
+	if (*Sketch)(nil).Rebucket(0.01) != nil {
+		t.Fatal("nil Rebucket must be nil")
 	}
 }
 
@@ -420,6 +466,20 @@ func TestDistSketchAccessor(t *testing.T) {
 	c.Add(2)
 	if sd.N() != 1 {
 		t.Fatal("Sketch() exposed live internal state")
+	}
+	// A sketch-backed Dist must honor the requested alpha so the
+	// result merges with peers built at that alpha (re-bucketing when
+	// the backing alpha differs).
+	other := NewSketchDist(0.05)
+	for i := 1; i <= 100; i++ {
+		other.Add(float64(i))
+	}
+	got := other.Sketch(0.01)
+	if got.Alpha() != 0.01 {
+		t.Fatalf("Sketch(0.01) on an alpha=0.05 Dist returned alpha %v", got.Alpha())
+	}
+	if err := d.Sketch(0.01).Merge(got); err != nil {
+		t.Fatalf("cross-Dist merge at a common alpha failed: %v", err)
 	}
 }
 

@@ -164,8 +164,10 @@ func (s *Server) statsProbe() map[string]any {
 			}
 			if acc := merged[name]; acc == nil {
 				merged[name] = sk
-			} else {
-				acc.Merge(sk)
+			} else if err := acc.Merge(sk); err != nil {
+				// Jobs may run at different sketch alphas; re-bucket
+				// rather than silently dropping the job's samples.
+				acc.Merge(sk.Rebucket(acc.Alpha()))
 			}
 		}
 	}

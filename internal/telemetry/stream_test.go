@@ -179,6 +179,58 @@ func TestTracerSpillWithPlainLimit(t *testing.T) {
 	}
 }
 
+// TestTracerSpillCloseAfterWriteError: a write error during the final
+// flush (e.g. disk full at trace finalization) must surface as an
+// error from CloseSpill, not a nil-pointer panic — flushToSpill
+// detaches the sink on error, and CloseSpill must tolerate that.
+func TestTracerSpillCloseAfterWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl.gz")
+	tr := NewTracer()
+	if err := tr.SpillTo(path); err != nil {
+		t.Fatal(err)
+	}
+	// Make every subsequent sink write fail, as a full disk would.
+	tr.spill.f.Close()
+	// Buffer enough events that draining them overflows the sink's
+	// 64 KiB buffer mid-flush, hitting the dead file descriptor.
+	for i := 0; i < 4000; i++ {
+		tr.RingDrop(sim.Time(i), 0, i)
+	}
+	if err := tr.CloseSpill(); err == nil {
+		t.Fatal("CloseSpill must surface the flush error")
+	}
+	if tr.SpillError() == nil {
+		t.Fatal("flush error was not recorded")
+	}
+	if err := tr.CloseSpill(); err == nil {
+		t.Fatal("repeated CloseSpill must keep reporting the error")
+	}
+}
+
+// TestTracerSetLimitInRingModeResizes: SetLimit after SetRing must
+// resize the ring consistently (buffer, head, wrapped) instead of
+// letting Emit append past the fixed ring and scramble event order.
+func TestTracerSetLimitInRingModeResizes(t *testing.T) {
+	tr := NewTracer()
+	tr.SetRing(4)
+	tr.SetLimit(8)
+	for i := 0; i < 20; i++ {
+		tr.RingDrop(sim.Time(i), 0, i)
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := sim.Time(12 + i); ev.At != want {
+			t.Fatalf("event %d at %d, want %d (order broken after wrap)", i, ev.At, want)
+		}
+	}
+	if tr.Overwritten() != 12 {
+		t.Fatalf("overwritten = %d, want 12", tr.Overwritten())
+	}
+}
+
 func TestTracerSpillNilSafe(t *testing.T) {
 	var tr *Tracer
 	if err := tr.SpillTo("/nonexistent/x"); err != nil {

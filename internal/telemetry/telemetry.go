@@ -205,9 +205,15 @@ func NewTracer() *Tracer {
 	return &Tracer{limit: DefaultEventLimit, labels: []string{"run0"}}
 }
 
-// SetLimit overrides the buffered-event cap.
+// SetLimit overrides the buffered-event cap. In ring mode the ring is
+// resized via SetRing so the buffer and head/wrapped bookkeeping stay
+// consistent.
 func (t *Tracer) SetLimit(n int) {
 	if t == nil || n <= 0 {
+		return
+	}
+	if t.ring {
+		t.SetRing(n)
 		return
 	}
 	t.limit = n
@@ -271,9 +277,14 @@ func (t *Tracer) CloseSpill() error {
 	if t.spill == nil {
 		return t.spillErr
 	}
+	// flushToSpill detaches the sink on a write error, so re-check
+	// before closing: a disk-full final flush must degrade, not panic.
 	t.flushToSpill()
-	err := t.spill.close()
-	t.spill = nil
+	var err error
+	if t.spill != nil {
+		err = t.spill.close()
+		t.spill = nil
+	}
 	if t.spillErr != nil {
 		return t.spillErr
 	}
