@@ -11,6 +11,9 @@
 //	experiments -run fig16 -duration 400ms
 //	experiments -run all -seeds 5 -parallel 8 # 5-seed envelopes, 8 workers
 //	experiments -run fig5 -gate testdata/golden/mini.json -update
+//	experiments -workload mice-heavy          # declarative workload spec (preset name)
+//	experiments -workload examples/specs/incast32.json
+//	experiments -workload-check elephants,examples/specs/trace.json
 //
 // All progress and diagnostics stream to stderr; stdout carries only
 // the result document (-format table, json, or csv), so it can be
@@ -35,6 +38,7 @@ import (
 	"presto/internal/metrics"
 	"presto/internal/sim"
 	"presto/internal/telemetry"
+	wspec "presto/internal/workload/spec"
 )
 
 func main() {
@@ -60,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gatePath = fs.String("gate", "", "golden envelope file to compare against (regression gate)")
 		update   = fs.Bool("update", false, "with -gate: regenerate the golden file from this run instead of checking")
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		workload = fs.String("workload", "", "run a declarative workload spec (preset name or spec.json path) across the §4 system lineup instead of -run")
+		wlCheck  = fs.String("workload-check", "", "validate workload specs (comma-separated preset names or spec.json paths) and exit")
 
 		tracePath  = fs.String("trace", "", "write a Chrome trace-event file covering every run (one process per run)")
 		eventsPath = fs.String("events", "", "write the raw event log as JSON Lines")
@@ -80,6 +86,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(what string, err error) int {
 		fmt.Fprintf(stderr, "%s: %v\n", what, err)
 		return 2
+	}
+	if *wlCheck != "" {
+		// Validation mode (CI): load each spec through the full loader
+		// and report per-spec status; exit 2 on the first failure.
+		for _, name := range strings.Split(*wlCheck, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			ws, err := wspec.Resolve(name)
+			if err != nil {
+				return fail("workload-check "+name, err)
+			}
+			fmt.Fprintf(stdout, "%s: ok (name=%s hash=%s clients=%d)\n", name, ws.Name, ws.Hash(), len(ws.Clients))
+		}
+		return 0
 	}
 
 	if *cpuProfile != "" {
@@ -118,9 +140,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	spec, err := presto.CampaignSpec(*runFlag, opt)
-	if err != nil {
-		return fail("spec", err)
+	var spec *campaign.Spec
+	if *workload != "" {
+		ws, err := wspec.Resolve(*workload)
+		if err != nil {
+			return fail("workload", err)
+		}
+		spec = presto.SpecWorkloadCampaign(ws, nil, opt)
+	} else {
+		var err error
+		spec, err = presto.CampaignSpec(*runFlag, opt)
+		if err != nil {
+			return fail("spec", err)
+		}
 	}
 	spec.Seeds = campaign.Seeds(*seed, *seeds)
 	spec.Parallelism = *parallel

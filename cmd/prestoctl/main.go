@@ -3,6 +3,7 @@
 //
 //	prestoctl submit spec.json            # POST the spec, print the job JSON
 //	prestoctl submit -wait spec.json      # ...and stream events until done
+//	prestoctl submit -workload mice-heavy # run a workload spec (preset or file) across the system lineup
 //	prestoctl list
 //	prestoctl status job-000000
 //	prestoctl events job-000000           # stream NDJSON events
@@ -16,6 +17,10 @@
 //
 //	{"experiments": "fig7", "seeds": 3, "parallelism": 4,
 //	 "duration": "200ms", "warmup": "50ms"}
+//
+// -workload resolves a workload-spec preset name or presto-workload/1
+// file locally, validates it, and inlines its canonical form into the
+// request, so the daemon needs no access to the file.
 //
 // Use "-" to read the spec from stdin. Exit codes: 0 success, 1 the
 // job ended failed/cancelled, 2 usage or communication errors.
@@ -33,6 +38,7 @@ import (
 	"syscall"
 
 	"presto/internal/server"
+	wspec "presto/internal/workload/spec"
 )
 
 func main() {
@@ -105,26 +111,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, stdin io.
 		sub := flag.NewFlagSet("submit", flag.ContinueOnError)
 		sub.SetOutput(stderr)
 		wait := sub.Bool("wait", false, "stream events and block until the job is terminal")
+		workload := sub.String("workload", "", "workload-spec preset name or presto-workload/1 file, inlined into the request")
 		if err := sub.Parse(rest); err != nil {
 			return 2
 		}
-		if sub.NArg() != 1 {
-			fmt.Fprintln(stderr, "usage: prestoctl submit [-wait] <spec.json|->")
+		if sub.NArg() > 1 || (sub.NArg() == 0 && *workload == "") {
+			fmt.Fprintln(stderr, "usage: prestoctl submit [-wait] [-workload PRESET|spec.json] [<spec.json|->]")
 			return 2
 		}
-		var specBytes []byte
-		var err error
-		if sub.Arg(0) == "-" {
-			specBytes, err = io.ReadAll(stdin)
-		} else {
-			specBytes, err = os.ReadFile(sub.Arg(0))
-		}
-		if err != nil {
-			return fail(err)
-		}
 		var req server.JobRequest
-		if err := json.Unmarshal(specBytes, &req); err != nil {
-			return fail(fmt.Errorf("parsing spec: %w", err))
+		if sub.NArg() == 1 {
+			var specBytes []byte
+			var err error
+			if sub.Arg(0) == "-" {
+				specBytes, err = io.ReadAll(stdin)
+			} else {
+				specBytes, err = os.ReadFile(sub.Arg(0))
+			}
+			if err != nil {
+				return fail(err)
+			}
+			if err := json.Unmarshal(specBytes, &req); err != nil {
+				return fail(fmt.Errorf("parsing spec: %w", err))
+			}
+		}
+		if *workload != "" {
+			// Resolve and validate locally, then ship the canonical spec
+			// inline so the daemon never needs the file.
+			ws, err := wspec.Resolve(*workload)
+			if err != nil {
+				return fail(fmt.Errorf("workload: %w", err))
+			}
+			req.Workload = ws.Canonical()
 		}
 		st, err := c.Submit(ctx, req)
 		if err != nil {

@@ -7,6 +7,7 @@
 //	prestod -addr 127.0.0.1:7377 -data /var/lib/prestod
 //
 //	curl -d '{"experiments":"fig7","seeds":3}' localhost:7377/v1/jobs
+//	curl -d '{"workload":"mice-heavy","seeds":2}' localhost:7377/v1/jobs
 //	curl localhost:7377/v1/jobs/job-000000/events        # NDJSON stream
 //	curl localhost:7377/v1/jobs/job-000000/artifacts/report.json
 //
@@ -36,6 +37,7 @@ import (
 	"presto/internal/campaign"
 	"presto/internal/server"
 	"presto/internal/sim"
+	wspec "presto/internal/workload/spec"
 )
 
 func main() {
@@ -135,19 +137,36 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 // specBuilder maps a JobRequest onto the same campaign spec
 // cmd/experiments builds for identical flags, so server-side runs are
 // byte-identical to CLI runs (the report carries no timing and result
-// ordering is spec-determined, not scheduling-determined).
+// ordering is spec-determined, not scheduling-determined). A request
+// carrying a workload spec (inline object, preset name, or spec path)
+// sweeps it across the system lineup exactly like `experiments
+// -workload`.
 func specBuilder(defaultCellTimeout time.Duration) func(server.JobRequest) (*campaign.Spec, error) {
 	return func(req server.JobRequest) (*campaign.Spec, error) {
-		if req.Experiments == "" {
-			return nil, fmt.Errorf(`missing "experiments" (e.g. "fig7" or "all")`)
+		hasWorkload := len(req.Workload) > 0
+		if req.Experiments == "" && !hasWorkload {
+			return nil, fmt.Errorf(`missing "experiments" (e.g. "fig7" or "all") or "workload" (spec object, preset name, or spec path)`)
+		}
+		if req.Experiments != "" && hasWorkload {
+			return nil, fmt.Errorf(`"experiments" and "workload" are mutually exclusive`)
 		}
 		opt := presto.Options{
 			Duration: sim.FromDuration(time.Duration(req.Duration)),
 			Warmup:   sim.FromDuration(time.Duration(req.Warmup)),
 		}
-		spec, err := presto.CampaignSpec(req.Experiments, opt)
-		if err != nil {
-			return nil, err
+		var spec *campaign.Spec
+		if hasWorkload {
+			ws, err := wspec.ResolveJSON(req.Workload)
+			if err != nil {
+				return nil, fmt.Errorf("workload: %w", err)
+			}
+			spec = presto.SpecWorkloadCampaign(ws, nil, opt)
+		} else {
+			var err error
+			spec, err = presto.CampaignSpec(req.Experiments, opt)
+			if err != nil {
+				return nil, err
+			}
 		}
 		seed := req.Seed
 		if seed == 0 {

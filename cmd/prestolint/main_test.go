@@ -67,6 +67,29 @@ func TestVettoolFlagsBadPackage(t *testing.T) {
 	}
 }
 
+// TestVettoolFlagsGeneratorPackage drives the pipeline against the
+// generator-shaped fixture: spec-driven workload generation drawing
+// from the global rand stream or reading the wall clock must be
+// reported — the guarantee that keeps internal/workload/spec's
+// generator deterministic per run seed.
+func TestVettoolFlagsGeneratorPackage(t *testing.T) {
+	tool := buildTool(t)
+	out, code := vet(t, tool, "./badgen")
+	if code == 0 {
+		t.Fatalf("go vet on generator fixture exited 0; output:\n%s", out)
+	}
+	for _, want := range []string{
+		"[simclock]",
+		"rand.ExpFloat64",
+		"time.Now",
+		"badgen.go",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("go vet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestVettoolPassesCleanPackage checks the clean fixture package comes
 // back with exit status 0 and no diagnostics.
 func TestVettoolPassesCleanPackage(t *testing.T) {

@@ -1,0 +1,24 @@
+// Package badgen is a known-bad fixture shaped like spec-driven
+// workload generation: arrival sampling must come from the run-seeded
+// RNG streams and the simulated clock, so global rand draws and
+// wall-clock reads in a generator are exactly what simclock exists to
+// catch (the real generator lives in internal/workload/spec, which is
+// not harness-exempt).
+package badgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ArrivalGap draws an inter-arrival gap from the global,
+// seed-independent rand stream.
+func ArrivalGap(mean float64) time.Duration {
+	return time.Duration(mean * rand.ExpFloat64())
+}
+
+// FlowStart stamps a flow with the wall clock instead of the
+// simulated clock.
+func FlowStart() int64 {
+	return time.Now().UnixNano()
+}

@@ -5,6 +5,12 @@
 //	prestosim -system presto -workload stride -duration 200ms
 //	prestosim -system ecmp -workload bijection -seed 7
 //	prestosim -system presto -workload stride -seeds 5   # mean ±stddev over 5 seeds
+//	prestosim -system presto -workload mice-heavy        # declarative preset
+//	prestosim -system ecmp -workload examples/specs/incast32.json
+//
+// -workload accepts the built-in patterns (stride, shuffle, random,
+// bijection), a named workload-spec preset (elephants, mice-heavy,
+// incast32, trace), or a path to a presto-workload/1 spec JSON file.
 //
 // With -seeds N > 1 the run is replicated over seeds seed..seed+N-1 on
 // the campaign worker pool (-parallel workers) and every metric is
@@ -32,6 +38,7 @@ import (
 	"presto/internal/campaign"
 	"presto/internal/sim"
 	"presto/internal/telemetry"
+	wspec "presto/internal/workload/spec"
 )
 
 func main() {
@@ -45,7 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("prestosim", flag.ContinueOnError)
 	var (
 		system     = fs.String("system", "presto", "ecmp | mptcp | presto | optimal | flowlet100 | flowlet500 | presto-ecmp | per-packet")
-		workload   = fs.String("workload", "stride", "stride | shuffle | random | bijection")
+		workload   = fs.String("workload", "stride", "stride | shuffle | random | bijection, a workload-spec preset, or a spec.json path")
 		duration   = fs.Duration("duration", 200*time.Millisecond, "measurement window (simulated)")
 		warmup     = fs.Duration("warmup", 50*time.Millisecond, "warmup before measurement (simulated)")
 		seed       = fs.Uint64("seed", 1, "random seed (base seed with -seeds > 1)")
@@ -66,7 +73,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	kind, err := parseWorkload(*workload)
+	kind, ws, err := parseWorkloadOrSpec(*workload)
 	if err != nil {
 		return err
 	}
@@ -102,14 +109,23 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *seeds > 1 {
-		return runReplicated(stdout, sys, kind, opt, *seed, *seeds, *parallel)
+		return runReplicated(stdout, sys, kind, ws, opt, *seed, *seeds, *parallel)
 	}
 
 	start := time.Now()
-	res := presto.RunWorkload(sys, kind, opt)
+	var res presto.LoadResult
+	var clients []wspec.ClientResult
+	if ws != nil {
+		res, clients, err = presto.RunSpecWorkload(sys, ws, opt)
+		if err != nil {
+			return err
+		}
+	} else {
+		res = presto.RunWorkload(sys, kind, opt)
+	}
 	elapsed := time.Since(start)
 
-	fmt.Fprintf(stdout, "system=%v workload=%v seed=%d duration=%v\n", sys, kind, *seed, *duration)
+	fmt.Fprintf(stdout, "system=%v workload=%v seed=%d duration=%v\n", sys, workloadName(kind, ws), *seed, *duration)
 	fmt.Fprintf(stdout, "  elephant throughput: %.2f Gbps/flow (fairness %.3f)\n", res.MeanTput, res.Fairness)
 	fmt.Fprintf(stdout, "  loss rate:           %.4f%%\n", res.LossRate*100)
 	if res.RTT != nil && res.RTT.N() > 0 {
@@ -119,6 +135,17 @@ func run(args []string, stdout io.Writer) error {
 	if res.FCT != nil && res.FCT.N() > 0 {
 		fmt.Fprintf(stdout, "  mice FCT (ms):       p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f (n=%d, timeouts=%d)\n",
 			res.FCT.Percentile(50), res.FCT.Percentile(90), res.FCT.Percentile(99), res.FCT.Percentile(99.9), res.FCT.N(), res.MiceTimeouts)
+	}
+	for _, cr := range clients {
+		fmt.Fprintf(stdout, "  client %-13s started=%d finished=%d timeouts=%d bytes=%d",
+			cr.ID+":", cr.Started, cr.Finished, cr.Timeouts, cr.BytesMoved)
+		if cr.FCT != nil && cr.FCT.N() > 0 {
+			fmt.Fprintf(stdout, " fct_ms_p50=%.3f fct_ms_p99=%.3f", cr.FCT.Percentile(50), cr.FCT.Percentile(99))
+		}
+		if cr.Tput > 0 {
+			fmt.Fprintf(stdout, " tput_gbps=%.2f", cr.Tput)
+		}
+		fmt.Fprintln(stdout)
 	}
 	fmt.Fprintf(stdout, "  wall time:           %v\n", elapsed.Round(time.Millisecond))
 
@@ -146,13 +173,17 @@ func run(args []string, stdout io.Writer) error {
 
 // runReplicated executes the system × workload as a one-cell campaign
 // over N seeds and prints per-metric envelopes.
-func runReplicated(stdout io.Writer, sys presto.System, kind presto.WorkloadKind, opt presto.Options, seed uint64, seeds, parallel int) error {
+func runReplicated(stdout io.Writer, sys presto.System, kind presto.WorkloadKind, ws *wspec.Spec, opt presto.Options, seed uint64, seeds, parallel int) error {
 	// Per-run telemetry registries are not safe across concurrent
 	// replicas; the single-seed path keeps full telemetry support.
 	opt.Telemetry = nil
+	cell := presto.WorkloadCell(sys, kind, opt)
+	if ws != nil {
+		cell = presto.SpecWorkloadCell(sys, ws, opt)
+	}
 	spec := &campaign.Spec{
 		Name:        "prestosim",
-		Cells:       []campaign.Cell{presto.WorkloadCell(sys, kind, opt)},
+		Cells:       []campaign.Cell{cell},
 		Seeds:       campaign.Seeds(seed, seeds),
 		Parallelism: parallel,
 		Progress:    os.Stderr,
@@ -164,15 +195,15 @@ func runReplicated(stdout io.Writer, sys presto.System, kind presto.WorkloadKind
 	if failed := report.FailedReplicas(); len(failed) > 0 {
 		return fmt.Errorf("%d replica(s) failed, first: %s seed=%d: %s", len(failed), failed[0].Cell, failed[0].Seed, failed[0].Err)
 	}
-	cell := &report.Cells[0]
-	fmt.Fprintf(stdout, "system=%v workload=%v seeds=%d..%d (n=%d)\n", sys, kind, seed, seed+uint64(seeds)-1, seeds)
-	names := make([]string, 0, len(cell.Envelopes))
-	for k := range cell.Envelopes {
+	res := &report.Cells[0]
+	fmt.Fprintf(stdout, "system=%v workload=%v seeds=%d..%d (n=%d)\n", sys, workloadName(kind, ws), seed, seed+uint64(seeds)-1, seeds)
+	names := make([]string, 0, len(res.Envelopes))
+	for k := range res.Envelopes {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		e := cell.Envelopes[k]
+		e := res.Envelopes[k]
 		fmt.Fprintf(stdout, "  %-16s %s\n", k, e.String())
 	}
 	return nil
@@ -220,6 +251,30 @@ func parseSystem(s string) (presto.System, error) {
 		return presto.SysPerPacket, nil
 	}
 	return 0, fmt.Errorf("unknown system %q", s)
+}
+
+// parseWorkloadOrSpec maps the -workload value onto either a built-in
+// pattern (ws == nil) or a declarative workload spec resolved from a
+// preset name or a spec.json path (ws != nil, kind unused).
+func parseWorkloadOrSpec(s string) (presto.WorkloadKind, *wspec.Spec, error) {
+	if kind, err := parseWorkload(s); err == nil {
+		return kind, nil, nil
+	}
+	ws, err := wspec.Resolve(s)
+	if err != nil {
+		return 0, nil, fmt.Errorf("workload %q is neither a built-in pattern (stride | shuffle | random | bijection) nor a workload spec: %v", s, err)
+	}
+	return 0, ws, nil
+}
+
+// workloadName renders the workload for the result header: the
+// pattern name, or the spec's name plus hash so runs are attributable
+// to an exact workload definition.
+func workloadName(kind presto.WorkloadKind, ws *wspec.Spec) string {
+	if ws != nil {
+		return fmt.Sprintf("%s(spec %s)", ws.Name, ws.Hash())
+	}
+	return fmt.Sprint(kind)
 }
 
 func parseWorkload(s string) (presto.WorkloadKind, error) {

@@ -1,31 +1,43 @@
-// Quickstart: build the paper's 16-host testbed, run the stride
-// workload under ECMP and under Presto, and compare throughput and
+// Quickstart: load the committed `elephants` workload spec (the
+// paper's stride pattern as data, not code), run it on the 16-host
+// testbed under ECMP and under Presto, and compare throughput and
 // tail latency — the headline result of the paper in ~30 lines.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart        # from the repository root
 package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"presto"
 	"presto/internal/sim"
+	wspec "presto/internal/workload/spec"
 )
 
 func main() {
+	ws, err := wspec.Load("examples/specs/elephants.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run from the repository root:", err)
+		os.Exit(1)
+	}
 	opt := presto.Options{
 		Seed:     42,
 		Warmup:   50 * sim.Millisecond,
 		Duration: 150 * sim.Millisecond,
 	}
 
-	fmt.Println("stride(8) on a 4-spine/4-leaf/16-host 10G Clos:")
+	fmt.Printf("workload %s (spec %s) on a 4-spine/4-leaf/16-host 10G Clos:\n", ws.Name, ws.Hash())
 	for _, sys := range []presto.System{presto.SysECMP, presto.SysPresto, presto.SysOptimal} {
 		start := time.Now()
-		r := presto.RunWorkload(sys, presto.Stride, opt)
-		fmt.Printf("  %-8v  %.2f Gbps/flow   RTT p99.9 = %.2f ms   mice FCT p99.9 = %.2f ms   (%v)\n",
-			sys, r.MeanTput, r.RTT.Percentile(99.9), r.FCT.Percentile(99.9),
+		r, _, err := presto.RunSpecWorkload(sys, ws, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-8v  %.2f Gbps/flow (fairness %.3f)   RTT p99.9 = %.2f ms   (%v)\n",
+			sys, r.MeanTput, r.Fairness, r.RTT.Percentile(99.9),
 			time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Println()
@@ -33,4 +45,8 @@ func main() {
 	fmt.Println("masks the resulting reordering in the receive-offload layer, so")
 	fmt.Println("it tracks the optimal non-blocking switch; ECMP loses throughput")
 	fmt.Println("to hash collisions and its latency tail to the induced queueing.")
+	fmt.Println()
+	fmt.Println("The workload is data, not code: edit examples/specs/*.json or")
+	fmt.Println("write your own presto-workload/1 spec and hand it to any")
+	fmt.Println("front-end via -workload, or to prestod in a job request.")
 }

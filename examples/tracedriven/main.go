@@ -1,32 +1,50 @@
-// Trace-driven workload (§6, Table 1): heavy-tailed flow sizes from
-// every server to random cross-rack destinations. Presto's flowcell
-// spraying flattens the mice FCT tail that ECMP's elephant collisions
-// create.
+// Trace-driven workload (§6, Table 1) from a committed spec file:
+// the `mice-heavy` spec mixes a Poisson stream of heavy-tailed mice
+// (empirical CDC-style CDF) with Pareto elephants, all to random
+// cross-rack destinations. Presto's flowcell spraying flattens the
+// mice FCT tail that ECMP's elephant collisions create.
 //
-//	go run ./examples/tracedriven
+// The same spec drives every front-end (`prestosim -workload
+// examples/specs/mice-heavy.json`, `experiments -workload ...`, a
+// prestod job), and cmd/capture can record any run into a flow log
+// that a spec trace source replays bit-exactly.
+//
+//	go run ./examples/tracedriven       # from the repository root
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"presto"
 	"presto/internal/sim"
+	wspec "presto/internal/workload/spec"
 )
 
 func main() {
+	ws, err := wspec.Load("examples/specs/mice-heavy.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run from the repository root:", err)
+		os.Exit(1)
+	}
 	opt := presto.Options{
 		Seed:     3,
 		Warmup:   30 * sim.Millisecond,
 		Duration: 250 * sim.Millisecond,
 	}
 	systems := []presto.System{presto.SysECMP, presto.SysPresto, presto.SysOptimal}
-	results := make(map[presto.System]presto.TraceResult)
+	results := make(map[presto.System]presto.LoadResult)
 	for _, sys := range systems {
-		results[sys] = presto.RunTrace(sys, opt)
+		r, _, err := presto.RunSpecWorkload(sys, ws, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results[sys] = r
 	}
 
-	base := results[presto.SysECMP].MiceFCT
-	fmt.Println("mice (<100 KB) flow completion time, trace-driven workload:")
+	base := results[presto.SysECMP].FCT
+	fmt.Printf("flow completion time, workload %s (spec %s):\n", ws.Name, ws.Hash())
 	fmt.Printf("%-12s %10s %10s %10s\n", "percentile", "ECMP(ms)", "Presto", "Optimal")
 	for _, p := range []float64{50, 90, 99, 99.9} {
 		b := base.Percentile(p)
@@ -34,13 +52,9 @@ func main() {
 			if b <= 0 {
 				return "n/a"
 			}
-			return fmt.Sprintf("%+.0f%%", (results[sys].MiceFCT.Percentile(p)/b-1)*100)
+			return fmt.Sprintf("%+.0f%%", (results[sys].FCT.Percentile(p)/b-1)*100)
 		}
 		fmt.Printf("%-12g %10.3f %10s %10s\n", p, b, rel(presto.SysPresto), rel(presto.SysOptimal))
 	}
-	fmt.Printf("\nelephant (>1 MB) goodput: ECMP %.2f, Presto %.2f, Optimal %.2f Gbps\n",
-		results[presto.SysECMP].ElephantTput,
-		results[presto.SysPresto].ElephantTput,
-		results[presto.SysOptimal].ElephantTput)
-	fmt.Println("(paper, Table 1: Presto cuts the 99th/99.9th percentile by 56%/60%)")
+	fmt.Println("\n(paper, Table 1: Presto cuts the 99th/99.9th percentile by 56%/60%)")
 }

@@ -169,15 +169,20 @@ type CellTiming struct {
 // executed: spec identity, environment, timings, and failures. Unlike
 // the report it is NOT byte-stable across runs — that is its job.
 type Manifest struct {
-	Name        string          `json:"name"`
-	SpecHash    string          `json:"spec_hash"`
-	GitDescribe string          `json:"git_describe,omitempty"`
-	GoVersion   string          `json:"go_version"`
-	Started     time.Time       `json:"started"`
-	WallMS      float64         `json:"wall_ms"`
-	Workers     int             `json:"workers"`
-	Seeds       []uint64        `json:"seeds"`
-	Cells       int             `json:"cells"`
+	Name        string    `json:"name"`
+	SpecHash    string    `json:"spec_hash"`
+	GitDescribe string    `json:"git_describe,omitempty"`
+	GoVersion   string    `json:"go_version"`
+	Started     time.Time `json:"started"`
+	WallMS      float64   `json:"wall_ms"`
+	Workers     int       `json:"workers"`
+	Seeds       []uint64  `json:"seeds"`
+	Cells       int       `json:"cells"`
+	// Workloads lists the distinct workload-spec hashes the campaign's
+	// cells ran (sorted; absent when every cell uses code-defined
+	// traffic). Together with SpecHash this pins exactly which declared
+	// workloads produced the artifacts.
+	Workloads   []string        `json:"workloads,omitempty"`
 	Replicas    int             `json:"replicas"`
 	Failed      []FailedReplica `json:"failed,omitempty"`
 	Utilization float64         `json:"worker_utilization"`
@@ -197,6 +202,14 @@ func (r *Report) Manifest(gitDescribe string) *Manifest {
 		Cells:       len(r.Cells),
 		Failed:      r.FailedReplicas(),
 	}
+	seenWl := map[string]bool{}
+	for i := range r.Cells {
+		if wl := r.Cells[i].Workload; wl != "" && !seenWl[wl] {
+			seenWl[wl] = true
+			m.Workloads = append(m.Workloads, wl)
+		}
+	}
+	sort.Strings(m.Workloads)
 	if t != nil {
 		t.mu.Lock()
 		m.Started = t.started

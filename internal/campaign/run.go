@@ -27,9 +27,12 @@ type ReplicaResult struct {
 
 // CellResult aggregates one cell's seed replicas.
 type CellResult struct {
-	Experiment string          `json:"experiment"`
-	ID         string          `json:"id"`
-	Replicas   []ReplicaResult `json:"replicas"`
+	Experiment string `json:"experiment"`
+	ID         string `json:"id"`
+	// Workload is the workload-spec hash the cell ran (empty for
+	// code-defined traffic); see Cell.Workload.
+	Workload string          `json:"workload,omitempty"`
+	Replicas []ReplicaResult `json:"replicas"`
 	// Envelopes summarise each metric over the successful replicas.
 	Envelopes map[string]Envelope `json:"envelopes,omitempty"`
 	// Sketches carry each merged distribution as a quantile sketch at
@@ -240,6 +243,7 @@ dispatch:
 		rep.Cells[i] = CellResult{
 			Experiment: c.Experiment,
 			ID:         c.ID,
+			Workload:   c.Workload,
 			Replicas:   results[i],
 			Envelopes:  aggregate(results[i]),
 			Sketches:   sketchDists(dists),

@@ -72,7 +72,15 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 type JobRequest struct {
 	// Experiments selects the cells: "all" or a comma-separated list of
 	// experiment IDs (fig1, fig5, ..., table1, table2, ablations).
-	Experiments string `json:"experiments"`
+	// Exactly one of Experiments and Workload must be set.
+	Experiments string `json:"experiments,omitempty"`
+	// Workload runs a declarative workload spec across the system
+	// lineup instead of a named experiment: either an inline
+	// presto-workload/1 spec object, or a quoted string naming a
+	// preset (elephants, mice-heavy, incast32, trace) or a spec file
+	// readable by the daemon. The spec's hash lands in the job's
+	// report cells and manifest.
+	Workload json.RawMessage `json:"workload,omitempty"`
 	// Seed is the base random seed; replicas use seed, seed+1, ...
 	// (default 1).
 	Seed uint64 `json:"seed,omitempty"`

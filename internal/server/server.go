@@ -298,7 +298,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Unlock()
-	s.cfg.Logf("job %s submitted: experiments=%q seeds=%d parallelism=%d", id, req.Experiments, req.Seeds, req.Parallelism)
+	sel := fmt.Sprintf("experiments=%q", req.Experiments)
+	if len(req.Workload) > 0 {
+		sel = "workload spec"
+	}
+	s.cfg.Logf("job %s submitted: %s seeds=%d parallelism=%d", id, sel, req.Seeds, req.Parallelism)
 	writeJSON(w, http.StatusAccepted, j.status(s.cfg.ArtifactTTL))
 }
 

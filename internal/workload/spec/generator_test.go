@@ -1,0 +1,334 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+
+	"presto/internal/cluster"
+	"presto/internal/sim"
+	"presto/internal/topo"
+)
+
+func testCluster(seed uint64) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Topology: topo.TwoTierClos(2, 2, 2, 1, topo.LinkConfig{}),
+		Scheme:   cluster.Presto,
+		Seed:     seed,
+	})
+}
+
+// compileRun compiles ws on a fresh cluster, runs for d, and returns
+// the generator plus the cluster.
+func compileRun(t *testing.T, ws *Spec, seed uint64, d sim.Time) (*Generator, *cluster.Cluster) {
+	t.Helper()
+	c := testCluster(seed)
+	g, err := Compile(ws, c, seed)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	g.Start(d)
+	c.Eng.Run(d)
+	return g, c
+}
+
+func TestGeneratorPoissonRandom(t *testing.T) {
+	ws := validSpec() // poisson, 1000 flows/s, random cross-pod, 1 KB
+	g, c := compileRun(t, ws, 7, 100*sim.Millisecond)
+	res := g.Results(c.Eng.Now())
+	if len(res) != 1 {
+		t.Fatalf("%d client results", len(res))
+	}
+	r := res[0]
+	// 1000 flows/s over 100 ms ≈ 100 arrivals; allow wide slack.
+	if r.Started < 50 || r.Started > 200 {
+		t.Fatalf("started %d flows, want ~100", r.Started)
+	}
+	if r.Finished == 0 || r.FCT.N() == 0 {
+		t.Fatalf("no flows finished: %+v", r)
+	}
+	if r.BytesMoved != uint64(r.Finished)*1000 {
+		t.Fatalf("BytesMoved %d for %d finished 1 KB flows", r.BytesMoved, r.Finished)
+	}
+}
+
+// TestGeneratorDeterminism pins the core invariant: same spec + seed →
+// identical traffic, regardless of how many times it runs.
+func TestGeneratorDeterminism(t *testing.T) {
+	ws, err := Preset("mice-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := func() string {
+		g, c := compileRun(t, ws, 42, 60*sim.Millisecond)
+		out := ""
+		for _, r := range g.Results(c.Eng.Now()) {
+			out += fmt.Sprintf("%s:%d/%d/%d/%d/%.6f;", r.ID, r.Started, r.Finished, r.Timeouts, r.BytesMoved, r.FCT.Mean())
+		}
+		return out
+	}
+	a, b := summary(), summary()
+	if a != b {
+		t.Fatalf("same spec+seed diverged:\n%s\n%s", a, b)
+	}
+	// And a different seed produces different traffic.
+	g, c := compileRun(t, ws, 43, 60*sim.Millisecond)
+	diff := ""
+	for _, r := range g.Results(c.Eng.Now()) {
+		diff += fmt.Sprintf("%s:%d/%d/%d/%d/%.6f;", r.ID, r.Started, r.Finished, r.Timeouts, r.BytesMoved, r.FCT.Mean())
+	}
+	if diff == a {
+		t.Fatal("different seeds produced identical traffic")
+	}
+}
+
+// TestGeneratorElephants pins the once+unlimited path: throughput and
+// fairness come from the elephant tracker.
+func TestGeneratorElephants(t *testing.T) {
+	ws, err := Preset("elephants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, c := compileRun(t, ws, 5, 50*sim.Millisecond)
+	if tput := g.MeanTput(c.Eng.Now()); tput < 1 {
+		t.Fatalf("elephant throughput %.2f Gbps", tput)
+	}
+	if f := g.Fairness(c.Eng.Now()); f < 0.5 {
+		t.Fatalf("fairness %.2f", f)
+	}
+	if res := g.Results(c.Eng.Now()); res[0].Tput < 1 {
+		t.Fatalf("client Tput %.2f", res[0].Tput)
+	}
+}
+
+// TestGeneratorIncastClamp pins that a 32-way incast spec runs on a
+// 4-host fabric with fan-in capped at N-1.
+func TestGeneratorIncastClamp(t *testing.T) {
+	ws, err := Preset("incast32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, c := compileRun(t, ws, 9, 100*sim.Millisecond)
+	r := g.Results(c.Eng.Now())[0]
+	if r.Started == 0 {
+		t.Fatal("no incast flows started")
+	}
+	// Each arrival opens exactly min(32, n-1) = 3 flows.
+	if r.Started%3 != 0 {
+		t.Fatalf("started %d flows; want a multiple of clamped fan-in 3", r.Started)
+	}
+}
+
+// TestGeneratorTraceReplay pins trace scheduling: flows start at the
+// recorded offsets and looping repeats the pattern.
+func TestGeneratorTraceReplay(t *testing.T) {
+	ms := func(v int64) Duration { return Duration(v * 1_000_000) }
+	ws := &Spec{
+		Version: Version,
+		Name:    "replay-test",
+		Clients: []Client{{
+			ID: "replay",
+			Trace: &TraceSource{
+				Inline: []FlowStart{
+					{At: ms(0), Src: 0, Dst: 2, Bytes: 10_000},
+					{At: ms(2), Src: 1, Dst: 3, Bytes: 10_000},
+					{At: ms(4), Src: 2, Dst: 0, Bytes: 10_000},
+				},
+			},
+		}},
+	}
+	g, c := compileRun(t, ws, 3, 50*sim.Millisecond)
+	r := g.Results(c.Eng.Now())[0]
+	if r.Started != 3 {
+		t.Fatalf("started %d flows, want 3 (no loop)", r.Started)
+	}
+	if r.Finished != 3 {
+		t.Fatalf("finished %d flows, want 3", r.Finished)
+	}
+
+	// Looped, the trace repeats every span until the window closes.
+	ws.Clients[0].Trace.Loop = true
+	g, c = compileRun(t, ws, 3, 50*sim.Millisecond)
+	r = g.Results(c.Eng.Now())[0]
+	if r.Started <= 3 {
+		t.Fatalf("looped trace started only %d flows", r.Started)
+	}
+}
+
+// TestGeneratorWindows pins start/stop windows: a client stops opening
+// flows after its window closes.
+func TestGeneratorWindows(t *testing.T) {
+	ws := validSpec()
+	ws.Clients[0].Start = Duration(10 * sim.Millisecond)
+	ws.Clients[0].Stop = Duration(30 * sim.Millisecond)
+	g, c := compileRun(t, ws, 11, 100*sim.Millisecond)
+	r := g.Results(c.Eng.Now())[0]
+	// ~20 ms active at 1000 flows/s ≈ 20 arrivals.
+	if r.Started < 5 || r.Started > 60 {
+		t.Fatalf("windowed client started %d flows, want ~20", r.Started)
+	}
+}
+
+// TestGeneratorOnOff pins the duty-cycle process: arrivals only accrue
+// during on-windows, so an on-off client emits fewer flows than a
+// continuous one at the same rate.
+func TestGeneratorOnOff(t *testing.T) {
+	base := validSpec()
+	onoff := validSpec()
+	onoff.Clients[0].Arrival = Arrival{
+		Process: ProcOnOff,
+		On:      Duration(5 * sim.Millisecond),
+		Off:     Duration(15 * sim.Millisecond),
+	}
+	gB, cB := compileRun(t, base, 13, 100*sim.Millisecond)
+	gO, cO := compileRun(t, onoff, 13, 100*sim.Millisecond)
+	nB := gB.Results(cB.Eng.Now())[0].Started
+	nO := gO.Results(cO.Eng.Now())[0].Started
+	if nO == 0 {
+		t.Fatal("on-off client never fired")
+	}
+	// 25% duty cycle: expect roughly a quarter of the continuous count.
+	if nO*2 >= nB {
+		t.Fatalf("on-off started %d vs continuous %d; duty cycle not applied", nO, nB)
+	}
+}
+
+// TestGeneratorResetBaseline pins that warmup traffic clears.
+func TestGeneratorResetBaseline(t *testing.T) {
+	ws := validSpec()
+	c := testCluster(21)
+	g, err := Compile(ws, c, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(100 * sim.Millisecond)
+	c.Eng.Run(50 * sim.Millisecond)
+	if g.Results(c.Eng.Now())[0].Started == 0 {
+		t.Fatal("no warmup flows")
+	}
+	g.ResetBaseline(c.Eng.Now())
+	if r := g.Results(c.Eng.Now())[0]; r.Started != 0 || r.FCT.N() != 0 {
+		t.Fatalf("baseline reset left %d started, %d FCT samples", r.Started, r.FCT.N())
+	}
+	c.Eng.Run(100 * sim.Millisecond)
+	if g.Results(c.Eng.Now())[0].Started == 0 {
+		t.Fatal("no flows after baseline reset")
+	}
+}
+
+// TestCompileTopologyChecks pins Compile's topology-dependent
+// validation.
+func TestCompileTopologyChecks(t *testing.T) {
+	c := testCluster(1)
+
+	ws := validSpec()
+	ws.Clients[0].Select = Select{Kind: SelPairs, Pairs: [][2]int{{0, 99}}}
+	if _, err := Compile(ws, c, 1); err == nil {
+		t.Fatal("out-of-range pair accepted")
+	}
+
+	ws = validSpec()
+	ws.Clients[0].Select = Select{Kind: SelNorthSouth}
+	if _, err := Compile(ws, c, 1); err == nil {
+		t.Fatal("northsouth accepted without remotes")
+	}
+
+	ws = validSpec()
+	ws.Clients[0] = Client{ID: "t", Trace: &TraceSource{
+		Inline: []FlowStart{{Src: 0, Dst: 99, Bytes: 10}},
+	}}
+	if _, err := Compile(ws, c, 1); err == nil {
+		t.Fatal("out-of-range trace host accepted")
+	}
+
+	ws = validSpec()
+	ws.Clients[0] = Client{ID: "t", Trace: &TraceSource{
+		Inline: []FlowStart{
+			{At: Duration(2 * sim.Millisecond), Src: 0, Dst: 1, Bytes: 10},
+			{At: Duration(1 * sim.Millisecond), Src: 0, Dst: 1, Bytes: 10},
+		},
+	}}
+	if _, err := Compile(ws, c, 1); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+}
+
+// TestGeneratorNorthSouth pins the north-south path against a topology
+// with spine-attached remote users.
+func TestGeneratorNorthSouth(t *testing.T) {
+	tp := topo.TwoTierClos(2, 2, 2, 1, topo.LinkConfig{})
+	for s := 0; s < 2; s++ {
+		tp.AddSpineHost(tp.Spines[s], 100e6, 5*sim.Microsecond)
+	}
+	c := cluster.New(cluster.Config{Topology: tp, Scheme: cluster.Presto, Seed: 2})
+	ws := validSpec()
+	ws.Clients[0].Select = Select{Kind: SelNorthSouth}
+	ws.Clients[0].Size = SizeDist{Kind: SizeFixed, Bytes: 2000}
+	g, err := Compile(ws, c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(100 * sim.Millisecond)
+	c.Eng.Run(100 * sim.Millisecond)
+	r := g.Results(c.Eng.Now())[0]
+	if r.Finished == 0 {
+		t.Fatalf("no north-south flows finished: %+v", r)
+	}
+}
+
+// TestArrivalGapDistributions sanity-checks the gap samplers' means.
+func TestArrivalGapDistributions(t *testing.T) {
+	mean := sim.Time(1 * sim.Millisecond)
+	for _, tc := range []struct {
+		name string
+		a    Arrival
+	}{
+		{"poisson", Arrival{Process: ProcPoisson}},
+		{"gamma cv2", Arrival{Process: ProcGamma, CV: 2}},
+		{"gamma cv0.5", Arrival{Process: ProcGamma, CV: 0.5}},
+		{"weibull heavy", Arrival{Process: ProcWeibull, Shape: 0.7}},
+		{"weibull regular", Arrival{Process: ProcWeibull, Shape: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := sim.NewRNG(99)
+			const n = 20000
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += float64(arrivalGap(&tc.a, rng, mean))
+			}
+			got := sum / n / float64(mean)
+			if got < 0.9 || got > 1.1 {
+				t.Fatalf("mean gap %.3f× the target", got)
+			}
+		})
+	}
+}
+
+// TestSampleSizeBounds pins clamping and the empirical sampler.
+func TestSampleSizeBounds(t *testing.T) {
+	rng := sim.NewRNG(123)
+	d := &SizeDist{Kind: SizePareto, ScaleBytes: 1000, Alpha: 1.1, Min: 2000, Max: 50_000}
+	for i := 0; i < 1000; i++ {
+		s := sampleSize(d, rng)
+		if s < 2000 || s > 50_000 {
+			t.Fatalf("sample %d outside [2000, 50000]", s)
+		}
+	}
+	e := &SizeDist{Kind: SizeEmpirical, CDF: []CDFPoint{
+		{Bytes: 100, Frac: 0.5}, {Bytes: 1000, Frac: 1},
+	}}
+	lo, hi := 0, 0
+	for i := 0; i < 2000; i++ {
+		s := sampleSize(e, rng)
+		if s < 100 || s > 1000 {
+			t.Fatalf("empirical sample %d outside CDF support", s)
+		}
+		if s == 100 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Fatalf("empirical sampler degenerate: lo=%d hi=%d", lo, hi)
+	}
+}

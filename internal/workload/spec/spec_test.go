@@ -1,0 +1,295 @@
+package spec
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validSpec returns a minimal valid spec for mutation-based tests.
+func validSpec() *Spec {
+	return &Spec{
+		Version:       Version,
+		Name:          "test",
+		AggregateRate: 1000,
+		Clients: []Client{{
+			ID:           "mice",
+			RateFraction: 1,
+			Arrival:      Arrival{Process: ProcPoisson},
+			Size:         SizeDist{Kind: SizeFixed, Bytes: 1000},
+			Select:       Select{Kind: SelRandom},
+		}},
+	}
+}
+
+func TestValidSpec(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestValidateRejections drives the loader through a table of
+// malformed specs, asserting each is rejected with an error naming the
+// offending field path.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Spec)
+		wantPath string // substring the error must contain
+	}{
+		{"bad version", func(s *Spec) { s.Version = "presto-workload/9" }, "version"},
+		{"no clients", func(s *Spec) { s.Clients = nil }, "clients"},
+		{"missing id", func(s *Spec) { s.Clients[0].ID = "" }, "clients[0].id"},
+		{"duplicate id", func(s *Spec) {
+			s.Clients = append(s.Clients, s.Clients[0])
+			s.Clients[0].RateFraction = 0.5
+			s.Clients[1].RateFraction = 0.5
+			s.Clients[1].ID = "mice"
+		}, "clients[1].id"},
+		{"unknown process", func(s *Spec) { s.Clients[0].Arrival.Process = "zeta" }, "clients[0].arrival.process"},
+		{"missing process", func(s *Spec) { s.Clients[0].Arrival.Process = "" }, "clients[0].arrival.process"},
+		{"fractions not summing", func(s *Spec) { s.Clients[0].RateFraction = 0.7 }, "rate fractions sum to 0.7"},
+		{"fraction above one", func(s *Spec) { s.Clients[0].RateFraction = 1.5 }, "clients[0].rate_fraction"},
+		{"fraction without aggregate", func(s *Spec) { s.AggregateRate = 0 }, "clients[0].rate_fraction"},
+		{"both rates", func(s *Spec) { s.Clients[0].Rate = 10 }, "clients[0].rate"},
+		{"no rate", func(s *Spec) { s.Clients[0].RateFraction = 0 }, "clients[0].rate"},
+		{"nan rate", func(s *Spec) { s.Clients[0].RateFraction = 0; s.Clients[0].Rate = math.NaN() }, "clients[0].rate"},
+		{"inf aggregate", func(s *Spec) { s.AggregateRate = math.Inf(1) }, "aggregate_rate"},
+		{"nan sigma", func(s *Spec) {
+			s.Clients[0].Size = SizeDist{Kind: SizeLognormal, MedianBytes: 1000, Sigma: math.NaN()}
+		}, "clients[0].size"},
+		{"unknown size kind", func(s *Spec) { s.Clients[0].Size.Kind = "zipf" }, "clients[0].size.kind"},
+		{"fixed without bytes", func(s *Spec) { s.Clients[0].Size.Bytes = 0 }, "clients[0].size.bytes"},
+		{"pareto missing alpha", func(s *Spec) {
+			s.Clients[0].Size = SizeDist{Kind: SizePareto, ScaleBytes: 1000}
+		}, "clients[0].size.alpha"},
+		{"inverted bounds", func(s *Spec) {
+			s.Clients[0].Size.Min = 5000
+			s.Clients[0].Size.Max = 100
+		}, "inverted bounds"},
+		{"negative bound", func(s *Spec) { s.Clients[0].Size.Min = -1 }, "clients[0].size.min"},
+		{"short cdf", func(s *Spec) {
+			s.Clients[0].Size = SizeDist{Kind: SizeEmpirical, CDF: []CDFPoint{{Bytes: 1, Frac: 1}}}
+		}, "clients[0].size.cdf"},
+		{"cdf not ascending", func(s *Spec) {
+			s.Clients[0].Size = SizeDist{Kind: SizeEmpirical, CDF: []CDFPoint{
+				{Bytes: 1000, Frac: 0.5}, {Bytes: 500, Frac: 1},
+			}}
+		}, "clients[0].size.cdf[1]"},
+		{"cdf not ending at 1", func(s *Spec) {
+			s.Clients[0].Size = SizeDist{Kind: SizeEmpirical, CDF: []CDFPoint{
+				{Bytes: 500, Frac: 0.5}, {Bytes: 1000, Frac: 0.9},
+			}}
+		}, "clients[0].size.cdf[1].frac"},
+		{"cdf nan bytes", func(s *Spec) {
+			s.Clients[0].Size = SizeDist{Kind: SizeEmpirical, CDF: []CDFPoint{
+				{Bytes: math.NaN(), Frac: 0.5}, {Bytes: 1000, Frac: 1},
+			}}
+		}, "clients[0].size.cdf[0]"},
+		{"unknown selection", func(s *Spec) { s.Clients[0].Select.Kind = "mesh" }, "clients[0].select.kind"},
+		{"incast tiny fanin", func(s *Spec) {
+			s.Clients[0].Select = Select{Kind: SelIncast, FanIn: 1}
+		}, "clients[0].select.fan_in"},
+		{"pairs empty", func(s *Spec) { s.Clients[0].Select = Select{Kind: SelPairs} }, "clients[0].select.pairs"},
+		{"pair self loop", func(s *Spec) {
+			s.Clients[0].Select = Select{Kind: SelPairs, Pairs: [][2]int{{3, 3}}}
+		}, "clients[0].select.pairs[0]"},
+		{"negative stride", func(s *Spec) {
+			s.Clients[0].Select = Select{Kind: SelStride, Stride: -1}
+		}, "clients[0].select.stride"},
+		{"onoff without windows", func(s *Spec) {
+			s.Clients[0].Arrival = Arrival{Process: ProcOnOff}
+		}, "clients[0].arrival.on"},
+		{"inverted window", func(s *Spec) {
+			s.Clients[0].Start = 100
+			s.Clients[0].Stop = 50
+		}, "clients[0].stop"},
+		{"unlimited without once", func(s *Spec) {
+			s.Clients[0].Size = SizeDist{Kind: SizeUnlimited}
+		}, "clients[0].size.kind"},
+		{"once with random", func(s *Spec) {
+			s.Clients[0].RateFraction = 0
+			s.Clients[0].Arrival = Arrival{Process: ProcOnce}
+		}, "clients[0].select.kind"},
+		{"once with rate", func(s *Spec) {
+			s.Clients[0].Arrival = Arrival{Process: ProcOnce}
+			s.Clients[0].Select = Select{Kind: SelStride}
+		}, "clients[0].rate"},
+		{"trace plus arrival", func(s *Spec) {
+			s.Clients[0].Trace = &TraceSource{Inline: []FlowStart{{Src: 0, Dst: 1, Bytes: 10}}}
+		}, "clients[0].trace"},
+		{"trace neither source", func(s *Spec) {
+			s.Clients[0] = Client{ID: "t", Trace: &TraceSource{}}
+		}, "clients[0].trace"},
+		{"trace both sources", func(s *Spec) {
+			s.Clients[0] = Client{ID: "t", Trace: &TraceSource{
+				Path:   "x.csv",
+				Inline: []FlowStart{{Src: 0, Dst: 1, Bytes: 10}},
+			}}
+		}, "clients[0].trace"},
+		{"trace bad flow", func(s *Spec) {
+			s.Clients[0] = Client{ID: "t", Trace: &TraceSource{
+				Inline: []FlowStart{{Src: 2, Dst: 2, Bytes: 10}},
+			}}
+		}, "clients[0].trace.inline[0]"},
+		{"trace zero bytes", func(s *Spec) {
+			s.Clients[0] = Client{ID: "t", Trace: &TraceSource{
+				Inline: []FlowStart{{Src: 0, Dst: 1, Bytes: 0}},
+			}}
+		}, "clients[0].trace.inline[0].bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("malformed spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantPath) {
+				t.Fatalf("error %q does not name field path %q", err, tc.wantPath)
+			}
+		})
+	}
+}
+
+// TestParseStrict pins that unknown fields and syntax errors fail
+// loudly.
+func TestParseStrict(t *testing.T) {
+	if _, err := Parse([]byte(`{"version":"presto-workload/1","clients":[],"typo_field":1}`)); err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+	if _, err := Parse([]byte(`{not json`)); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+}
+
+// TestDurationJSON pins the Duration wire forms: strings, integer ns,
+// and null.
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	for _, tc := range []struct {
+		in   string
+		want int64 // ns
+	}{{`"150ms"`, 150e6}, {`"1.5us"`, 1500}, {`2000`, 2000}, {`null`, 0}} {
+		d = 0
+		if err := json.Unmarshal([]byte(tc.in), &d); err != nil {
+			t.Fatalf("%s: %v", tc.in, err)
+		}
+		if int64(d) != tc.want {
+			t.Fatalf("%s parsed to %d ns, want %d", tc.in, int64(d), tc.want)
+		}
+	}
+	out, err := json.Marshal(Duration(150e6))
+	if err != nil || string(out) != `"150ms"` {
+		t.Fatalf("marshal = %s, %v", out, err)
+	}
+	if err := json.Unmarshal([]byte(`"nonsense"`), &d); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+}
+
+// TestPresets pins that every named preset validates, carries its own
+// name, and round-trips through the JSON loader unchanged.
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("preset %s has Name %q", name, s.Name)
+		}
+		back, err := Parse(s.Canonical())
+		if err != nil {
+			t.Fatalf("preset %s does not round-trip: %v", name, err)
+		}
+		if back.Hash() != s.Hash() {
+			t.Errorf("preset %s hash changed across round-trip", name)
+		}
+		if !IsPreset(name) {
+			t.Errorf("IsPreset(%s) = false", name)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if IsPreset("nope") {
+		t.Fatal("IsPreset(nope) = true")
+	}
+}
+
+// TestHashStability pins that the hash depends on content, not
+// incidental formatting, and changes when the workload changes.
+func TestHashStability(t *testing.T) {
+	a := validSpec()
+	b := validSpec()
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical specs hash differently")
+	}
+	b.Clients[0].Size.Bytes = 2000
+	if a.Hash() == b.Hash() {
+		t.Fatal("different specs share a hash")
+	}
+	// Reparsing the canonical form preserves the hash.
+	back, err := Parse(a.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != a.Hash() {
+		t.Fatal("hash not stable across encode/decode")
+	}
+}
+
+// TestResolve pins preset-name vs file-path resolution and the
+// ResolveJSON wire forms.
+func TestResolve(t *testing.T) {
+	s, err := Resolve("elephants")
+	if err != nil || s.Name != "elephants" {
+		t.Fatalf("Resolve(elephants) = %v, %v", s, err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wl.json")
+	if err := os.WriteFile(path, validSpec().Canonical(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Resolve(path)
+	if err != nil || s.Name != "test" {
+		t.Fatalf("Resolve(path) = %v, %v", s, err)
+	}
+	if _, err := Resolve(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+
+	// ResolveJSON: quoted string → preset, object → inline spec.
+	s, err = ResolveJSON([]byte(`"incast32"`))
+	if err != nil || s.Name != "incast32" {
+		t.Fatalf("ResolveJSON(preset) = %v, %v", s, err)
+	}
+	s, err = ResolveJSON(validSpec().Canonical())
+	if err != nil || s.Name != "test" {
+		t.Fatalf("ResolveJSON(inline) = %v, %v", s, err)
+	}
+	if _, err := ResolveJSON([]byte(`  `)); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if _, err := ResolveJSON([]byte(`42`)); err == nil {
+		t.Fatal("numeric workload accepted")
+	}
+}
+
+// TestNeedsRemotes pins remote detection for front-end topology setup.
+func TestNeedsRemotes(t *testing.T) {
+	s := validSpec()
+	if s.NeedsRemotes() {
+		t.Fatal("random workload claims to need remotes")
+	}
+	s.Clients[0].Select = Select{Kind: SelNorthSouth}
+	if !s.NeedsRemotes() {
+		t.Fatal("northsouth workload does not need remotes")
+	}
+}

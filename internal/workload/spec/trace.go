@@ -1,0 +1,178 @@
+package spec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"presto/internal/sim"
+)
+
+// Flow-start logs are the replayable trace format closing the
+// capture→replay loop: cmd/capture emits them, and a spec's trace
+// source feeds them back through the generator. Two encodings share
+// one record shape (time, src, dst, bytes):
+//
+// CSV, with a fixed header (times are integer nanoseconds so replay is
+// exact):
+//
+//	at_ns,src,dst,bytes
+//	0,0,2,1000000
+//	1500000,1,3,50000
+//
+// JSONL, one FlowStart object per line (times are Go duration strings
+// or integer nanoseconds):
+//
+//	{"at":"0s","src":0,"dst":2,"bytes":1000000}
+//	{"at":"1.5ms","src":1,"dst":3,"bytes":50000}
+//
+// Readers auto-detect the encoding by the first non-space byte ('{' →
+// JSONL, else CSV).
+
+// flowLogHeader is the required CSV header row.
+var flowLogHeader = []string{"at_ns", "src", "dst", "bytes"}
+
+// ParseFlowLog reads a flow-start log from a CSV or JSONL file.
+func ParseFlowLog(path string) ([]FlowStart, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	flows, err := ReadFlowLog(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return flows, nil
+}
+
+// ReadFlowLog decodes a flow-start log, auto-detecting CSV vs JSONL.
+func ReadFlowLog(r io.Reader) ([]FlowStart, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("flow log: empty input")
+		}
+		if b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r' {
+			_, _ = br.ReadByte()
+			continue
+		}
+		if b[0] == '{' {
+			return readFlowLogJSONL(br)
+		}
+		return readFlowLogCSV(br)
+	}
+}
+
+// readFlowLogCSV decodes the CSV encoding, enforcing the header.
+func readFlowLogCSV(r io.Reader) ([]FlowStart, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(flowLogHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("flow log: reading header: %w", err)
+	}
+	for i, want := range flowLogHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("flow log: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var flows []FlowStart
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("flow log: %w", err)
+		}
+		vals := make([]int64, len(rec))
+		for i, s := range rec {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("flow log line %d: column %s: %w", line, flowLogHeader[i], err)
+			}
+			vals[i] = v
+		}
+		f := FlowStart{
+			At:    Duration(sim.Time(vals[0])),
+			Src:   int(vals[1]),
+			Dst:   int(vals[2]),
+			Bytes: int(vals[3]),
+		}
+		if err := validateFlowStart(fmt.Sprintf("line %d", line), f); err != nil {
+			return nil, fmt.Errorf("flow log: %w", err)
+		}
+		flows = append(flows, f)
+	}
+	return flows, nil
+}
+
+// readFlowLogJSONL decodes the JSONL encoding.
+func readFlowLogJSONL(r io.Reader) ([]FlowStart, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var flows []FlowStart
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(text))
+		dec.DisallowUnknownFields()
+		var f FlowStart
+		if err := dec.Decode(&f); err != nil {
+			return nil, fmt.Errorf("flow log line %d: %w", line, err)
+		}
+		if err := validateFlowStart(fmt.Sprintf("line %d", line), f); err != nil {
+			return nil, fmt.Errorf("flow log: %w", err)
+		}
+		flows = append(flows, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flow log: %w", err)
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("flow log: no flows")
+	}
+	return flows, nil
+}
+
+// WriteFlowLogCSV encodes flows in the CSV form cmd/capture emits.
+func WriteFlowLogCSV(w io.Writer, flows []FlowStart) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(flowLogHeader); err != nil {
+		return err
+	}
+	for _, f := range flows {
+		rec := []string{
+			strconv.FormatInt(int64(f.At), 10),
+			strconv.Itoa(f.Src),
+			strconv.Itoa(f.Dst),
+			strconv.Itoa(f.Bytes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFlowLogJSONL encodes flows as JSONL.
+func WriteFlowLogJSONL(w io.Writer, flows []FlowStart) error {
+	enc := json.NewEncoder(w)
+	for _, f := range flows {
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package spec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"presto/internal/sim"
+)
+
+func sampleFlows() []FlowStart {
+	return []FlowStart{
+		{At: Duration(0), Src: 0, Dst: 2, Bytes: 1_000_000},
+		{At: Duration(1500 * sim.Microsecond), Src: 1, Dst: 3, Bytes: 50_000},
+		{At: Duration(3 * sim.Millisecond), Src: 2, Dst: 0, Bytes: 700},
+	}
+}
+
+// TestFlowLogRoundTripCSV pins the CSV encoding byte-exactly through a
+// write/read cycle.
+func TestFlowLogRoundTripCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFlowLogCSV(&buf, sampleFlows()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "at_ns,src,dst,bytes\n") {
+		t.Fatalf("missing header: %q", buf.String())
+	}
+	got, err := ReadFlowLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleFlows()
+	if len(got) != len(want) {
+		t.Fatalf("%d flows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flow %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlowLogRoundTripJSONL pins the JSONL encoding and auto-detection.
+func TestFlowLogRoundTripJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFlowLogJSONL(&buf, sampleFlows()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlowLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleFlows()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flow %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestParseFlowLogFile pins the file entry point both encodings share.
+func TestParseFlowLogFile(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "flows.csv")
+	var buf bytes.Buffer
+	if err := WriteFlowLogCSV(&buf, sampleFlows()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(csvPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flows, err := ParseFlowLog(csvPath)
+	if err != nil || len(flows) != 3 {
+		t.Fatalf("ParseFlowLog = %d flows, %v", len(flows), err)
+	}
+	if _, err := ParseFlowLog(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestFlowLogRejections pins malformed-input errors.
+func TestFlowLogRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"wrong header", "time,src,dst,bytes\n0,0,1,10\n"},
+		{"non-numeric", "at_ns,src,dst,bytes\nzero,0,1,10\n"},
+		{"self loop", "at_ns,src,dst,bytes\n0,1,1,10\n"},
+		{"zero bytes", "at_ns,src,dst,bytes\n0,0,1,0\n"},
+		{"negative time", "at_ns,src,dst,bytes\n-5,0,1,10\n"},
+		{"short row", "at_ns,src,dst,bytes\n0,0,1\n"},
+		{"jsonl unknown field", `{"at":"0s","src":0,"dst":1,"bytes":10,"huh":1}`},
+		{"jsonl bad flow", `{"at":"0s","src":1,"dst":1,"bytes":10}`},
+		{"jsonl syntax", `{"at":`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadFlowLog(strings.NewReader(tc.in)); err == nil {
+				t.Fatal("malformed flow log accepted")
+			}
+		})
+	}
+}
+
+// TestTraceSpecFromFile pins the full loop: spec referencing a flow-log
+// file compiles and replays it.
+func TestTraceSpecFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flows.csv")
+	var buf bytes.Buffer
+	if err := WriteFlowLogCSV(&buf, sampleFlows()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ws := &Spec{
+		Version: Version,
+		Name:    "file-replay",
+		Clients: []Client{{ID: "replay", Trace: &TraceSource{Path: path}}},
+	}
+	g, c := compileRun(t, ws, 17, 50*sim.Millisecond)
+	if r := g.Results(c.Eng.Now())[0]; r.Started != 3 {
+		t.Fatalf("file-backed trace started %d flows, want 3", r.Started)
+	}
+}

@@ -1,0 +1,131 @@
+package presto
+
+import (
+	"bytes"
+	"testing"
+
+	"presto/internal/campaign"
+	"presto/internal/sim"
+	wspec "presto/internal/workload/spec"
+)
+
+// TestExampleSpecsMatchPresets pins the committed examples/specs files
+// to their presets: each file must load, validate, and hash to exactly
+// the preset of the same name, so docs, CI, and code never drift.
+func TestExampleSpecsMatchPresets(t *testing.T) {
+	for _, name := range wspec.PresetNames() {
+		ws, err := wspec.Load("examples/specs/" + name + ".json")
+		if err != nil {
+			t.Errorf("examples/specs/%s.json: %v", name, err)
+			continue
+		}
+		p, err := wspec.Preset(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if ws.Hash() != p.Hash() {
+			t.Errorf("examples/specs/%s.json hash %s != preset hash %s (regenerate the file from the preset)",
+				name, ws.Hash(), p.Hash())
+		}
+	}
+}
+
+// specCampaign builds a one-system mice-heavy campaign with the given
+// worker count — the spec-workload analogue of fig5Spec.
+func specCampaign(t *testing.T, parallelism, seeds int) *campaign.Spec {
+	t.Helper()
+	ws, err := wspec.Preset("mice-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		Duration: 10 * sim.Millisecond,
+		Warmup:   5 * sim.Millisecond,
+	}
+	spec := SpecWorkloadCampaign(ws, []System{SysPresto}, opt)
+	spec.Seeds = campaign.Seeds(1, seeds)
+	spec.Parallelism = parallelism
+	return spec
+}
+
+// TestSpecWorkloadDeterministicAcrossParallelism is the workload-spec
+// determinism invariant: the same spec + seed must produce
+// byte-identical campaign artifacts at -parallel 1 and -parallel 8,
+// because every random draw comes from per-client streams derived from
+// the run seed, never from scheduling.
+func TestSpecWorkloadDeterministicAcrossParallelism(t *testing.T) {
+	artifacts := func(parallelism int) (string, string) {
+		report, err := RunCampaign(specCampaign(t, parallelism, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := report.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := report.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := artifacts(1)
+	j8, c8 := artifacts(8)
+	if j1 != j8 {
+		t.Error("report JSON differs between -parallel 1 and -parallel 8")
+	}
+	if c1 != c8 {
+		t.Error("report CSV differs between -parallel 1 and -parallel 8")
+	}
+}
+
+// TestSpecWorkloadHashInArtifacts checks the manifest/report carry the
+// workload hash: cells record it and the manifest lists it, so cached
+// or archived artifacts key on the exact workload definition.
+func TestSpecWorkloadHashInArtifacts(t *testing.T) {
+	spec := specCampaign(t, 2, 1)
+	report, err := RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := wspec.Preset("mice-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ws.Hash()
+	if len(report.Cells) == 0 || report.Cells[0].Workload != want {
+		t.Errorf("cell workload hash = %q, want %q", report.Cells[0].Workload, want)
+	}
+	m := report.Manifest("")
+	if len(m.Workloads) != 1 || m.Workloads[0] != want {
+		t.Errorf("manifest workloads = %v, want [%s]", m.Workloads, want)
+	}
+}
+
+// TestRunSpecWorkloadNorthSouth covers the remote-user topology path
+// end to end through the facade: a north-south client compiles and
+// moves traffic on the spine-attached 100 Mbps hosts.
+func TestRunSpecWorkloadNorthSouth(t *testing.T) {
+	ws := &wspec.Spec{
+		Version:       wspec.Version,
+		Name:          "ns-test",
+		AggregateRate: 500,
+		Clients: []wspec.Client{{
+			ID:           "ns",
+			RateFraction: 1,
+			Arrival:      wspec.Arrival{Process: wspec.ProcPoisson},
+			Size:         wspec.SizeDist{Kind: wspec.SizeFixed, Bytes: 20000},
+			Select:       wspec.Select{Kind: wspec.SelNorthSouth},
+		}},
+	}
+	_, clients, err := RunSpecWorkload(SysPresto, ws, Options{
+		Seed:     1,
+		Duration: 10 * sim.Millisecond,
+		Warmup:   2 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clients) != 1 || clients[0].Finished == 0 {
+		t.Fatalf("north-south client finished no flows: %+v", clients)
+	}
+}
