@@ -90,7 +90,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(fmt.Errorf("closing %s: %w", *out, err))
+			}
+		}()
 		pcap = trace.NewWriter(f)
 	}
 	if pcap != nil || *analyze {
@@ -153,11 +157,15 @@ func writeFlowLog(path string, starts []wspec.FlowStart) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if strings.HasSuffix(path, ".jsonl") {
-		return wspec.WriteFlowLogJSONL(f, out)
+		err = wspec.WriteFlowLogJSONL(f, out)
+	} else {
+		err = wspec.WriteFlowLogCSV(f, out)
 	}
-	return wspec.WriteFlowLogCSV(f, out)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // printAnalysis prints the classic offline trace analysis of the

@@ -109,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail("cpuprofile", err)
 		}
-		defer f.Close()
+		defer f.Close() //prestolint:allow errdrop -- profile file is auxiliary diagnostics; StopCPUProfile already flushed before this close runs
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return fail("cpuprofile", err)
 		}
@@ -199,7 +199,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail("memprofile", err)
 		}
-		defer f.Close()
+		defer f.Close() //prestolint:allow errdrop -- profile file is auxiliary diagnostics; WriteHeapProfile's error is already checked
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return fail("memprofile", err)

@@ -95,7 +95,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	if err != nil {
 		return fail("init", err)
 	}
-	defer srv.Close()
+	defer srv.Close() //prestolint:allow errdrop -- process is exiting; the server logs its own shutdown failures
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

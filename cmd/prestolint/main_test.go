@@ -1,9 +1,11 @@
 package main_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -118,15 +120,156 @@ func TestVersionHandshake(t *testing.T) {
 	}
 }
 
-// TestFlagsHandshake checks the -flags handshake prints a JSON array.
+// TestFlagsHandshake checks the -flags handshake prints the JSON flag
+// declarations cmd/go parses to learn which flags it may forward.
 func TestFlagsHandshake(t *testing.T) {
 	tool := buildTool(t)
 	out, err := exec.Command(tool, "-flags").CombinedOutput()
 	if err != nil {
 		t.Fatalf("-flags: %v\n%s", err, out)
 	}
-	if got := strings.TrimSpace(string(out)); got != "[]" {
-		t.Errorf("-flags printed %q, want []", got)
+	var decls []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &decls); err != nil {
+		t.Fatalf("-flags printed invalid JSON %q: %v", out, err)
+	}
+	if len(decls) != 1 || decls[0].Name != "json" || !decls[0].Bool {
+		t.Errorf("-flags = %q, want the boolean json flag declared", out)
+	}
+}
+
+// TestVettoolNewAnalyzers drives the real go vet pipeline against one
+// tripping fixture package per PR-8 analyzer.
+func TestVettoolNewAnalyzers(t *testing.T) {
+	tool := buildTool(t)
+	cases := []struct {
+		pkg   string
+		wants []string
+	}{
+		{"./badlock", []string{"[lockorder]", "lock order cycle", "badlock.go"}},
+		{"./badgoro", []string{"[goroleak]", "no reachable termination path", "badgoro.go"}},
+		{"./badclose", []string{"[errdrop]", "discarded error from Close", "badclose.go"}},
+		{"./badalloc", []string{"[hotalloc]", "appends through a bare slice", "badalloc.go"}},
+	}
+	for _, tc := range cases {
+		out, code := vet(t, tool, tc.pkg)
+		if code == 0 {
+			t.Errorf("go vet on %s exited 0; output:\n%s", tc.pkg, out)
+			continue
+		}
+		for _, want := range tc.wants {
+			if !strings.Contains(out, want) {
+				t.Errorf("go vet output for %s missing %q:\n%s", tc.pkg, want, out)
+			}
+		}
+	}
+}
+
+// TestVettoolJSONMode checks -json forwarding: diagnostics come back
+// as parseable per-package JSON on stdout and the run exits 0 even on
+// a tripping package, so CI can archive findings without failing.
+func TestVettoolJSONMode(t *testing.T) {
+	tool := buildTool(t)
+	out, code := vet(t, tool, "-json", "./badclose")
+	if code != 0 {
+		t.Fatalf("go vet -json on bad fixture exited %d, want 0 (JSON mode archives, the plain run gates):\n%s", code, out)
+	}
+	var found bool
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "{") {
+			continue // go vet prints "# pkg" headers around tool output
+		}
+		var decoded map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			End     string `json:"end"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+			t.Fatalf("-json emitted unparseable line %q: %v", line, err)
+		}
+		for _, byAnalyzer := range decoded {
+			for _, diags := range byAnalyzer["errdrop"] {
+				if strings.Contains(diags.Message, "discarded error") && diags.Posn != "" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("-json output has no errdrop diagnostic for badclose:\n%s", out)
+	}
+}
+
+// TestSuppressionBudget exercises the -suppressions -budget CI gate:
+// under budget passes, over budget and reason-less allows fail.
+func TestSuppressionBudget(t *testing.T) {
+	tool := buildTool(t)
+	dir := t.TempDir()
+	src := `package p
+
+import "os"
+
+func touch(f *os.File) {
+	f.Close() //prestolint:allow errdrop -- fixture exercising the budget counter
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeBudget := func(name string, allows int) string {
+		path := filepath.Join(dir, name)
+		body := `{"_comment": "test budget", "budget": {"errdrop": ` + strconv.Itoa(allows) + `}}`
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	pass := writeBudget("ok.json", 1)
+	out, err := exec.Command(tool, "-suppressions", "-budget", pass, dir).CombinedOutput()
+	if err != nil {
+		t.Errorf("-budget within limit failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "suppression budget ok") {
+		t.Errorf("in-budget run missing ok line:\n%s", out)
+	}
+
+	fail := writeBudget("tight.json", 0)
+	out, err = exec.Command(tool, "-suppressions", "-budget", fail, dir).CombinedOutput()
+	if err == nil {
+		t.Errorf("-budget over limit exited 0:\n%s", out)
+	}
+	if !strings.Contains(string(out), "budget exceeded: errdrop has 1") {
+		t.Errorf("over-budget run missing exceeded line:\n%s", out)
+	}
+}
+
+// TestSuppressionsRequireReason checks a bare //prestolint:allow fails
+// the -suppressions audit.
+func TestSuppressionsRequireReason(t *testing.T) {
+	tool := buildTool(t)
+	dir := t.TempDir()
+	src := `package p
+
+import "os"
+
+func touch(f *os.File) {
+	f.Close() //prestolint:allow errdrop
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(tool, "-suppressions", dir).CombinedOutput()
+	if err == nil {
+		t.Errorf("-suppressions on reason-less allow exited 0:\n%s", out)
+	}
+	if !strings.Contains(string(out), "without a '-- reason' tail") {
+		t.Errorf("audit output missing reason diagnostic:\n%s", out)
 	}
 }
 

@@ -1,0 +1,12 @@
+// Package badalloc is a fixture package whose noalloc-annotated
+// function allocates: the driver test asserts go vet -vettool reports
+// it through the hotalloc analyzer.
+package badalloc
+
+// Push is declared allocation-free but appends through a bare slice,
+// which grows the backing array on the hot path.
+//
+//prestolint:noalloc
+func Push(buf []int, v int) []int {
+	return append(buf, v)
+}

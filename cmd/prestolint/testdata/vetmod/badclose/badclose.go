@@ -1,0 +1,17 @@
+// Package badclose is a fixture package that drops a Close error: the
+// driver test asserts go vet -vettool reports it through the errdrop
+// analyzer.
+package badclose
+
+import "os"
+
+// Touch creates a file and discards the Close error, losing any
+// write-back failure.
+func Touch(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package badgoro is a fixture package spawning a goroutine with no
+// termination path: the driver test asserts go vet -vettool reports
+// it through the goroleak analyzer.
+package badgoro
+
+// Pump drains ch forever with no way to stop; the goroutine outlives
+// every shutdown.
+func Pump(ch chan int) {
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}

@@ -1,0 +1,27 @@
+// Package badlock is a fixture package with an AB-BA lock-order
+// cycle: the driver test asserts go vet -vettool reports it through
+// the lockorder analyzer.
+package badlock
+
+import "sync"
+
+// Pair guards two resources with two mutexes and nests them in both
+// orders, which is a latent deadlock under concurrency.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *Pair) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+func (p *Pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}

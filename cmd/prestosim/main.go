@@ -83,7 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer f.Close() //prestolint:allow errdrop -- profile file is auxiliary diagnostics; StopCPUProfile already flushed before this close runs
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
@@ -162,7 +162,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer f.Close() //prestolint:allow errdrop -- profile file is auxiliary diagnostics; WriteHeapProfile's error is already checked
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return err

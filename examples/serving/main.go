@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Close() //prestolint:allow errdrop -- example exits right after; the server logs its own shutdown failures
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -20,10 +20,15 @@
 //	//prestolint:allow <name>[,<name>...] [-- reason]
 //
 // where <name> is an analyzer name (simclock, maporder, niltracer,
-// simtime) or one of its aliases (e.g. "wallclock" for simclock). The
-// optional "-- reason" tail documents why the exception is sound and
-// is strongly encouraged. cmd/prestolint -suppressions lists every
-// annotation in a tree so exceptions stay auditable.
+// simtime, lockorder, goroleak, errdrop, hotalloc) or one of its
+// aliases (e.g. "wallclock" for simclock). The "-- reason" tail is
+// mandatory: a bare //prestolint:allow is itself reported as a
+// diagnostic (see MissingReasonDiagnostics), because an exception that
+// does not document why it is sound cannot be reviewed or retired.
+// cmd/prestolint -suppressions lists every annotation in a tree so
+// exceptions stay auditable, and -suppressions -budget enforces
+// per-analyzer allow-counts so the exception list can only shrink
+// without review.
 package analysis
 
 import (
@@ -75,7 +80,49 @@ type Pass struct {
 	ImportPath string
 
 	diags *[]Diagnostic
+
+	// Package-level facts (see ExportObjectFact). Facts never cross
+	// package boundaries — the vettool's vetx files stay empty — but
+	// within one package they let an analyzer summarize a function once
+	// (locks it acquires, whether it can run forever) and consult that
+	// summary from every call site.
+	objFacts map[types.Object]Fact
+	pkgFact  Fact
 }
+
+// A Fact is an analyzer-defined summary attached to a package-level
+// object (usually a *types.Func) or to the package itself. Facts are
+// scoped to a single analyzer's Pass over a single package: they exist
+// so interprocedural analyzers (lockorder, goroleak) can reason across
+// the functions of one package without re-walking callee bodies at
+// every call site.
+type Fact any
+
+// ExportObjectFact attaches fact to obj for the remainder of this pass.
+// A second export for the same object overwrites the first.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		return
+	}
+	if p.objFacts == nil {
+		p.objFacts = make(map[types.Object]Fact)
+	}
+	p.objFacts[obj] = fact
+}
+
+// ObjectFact returns the fact attached to obj by ExportObjectFact, if
+// any.
+func (p *Pass) ObjectFact(obj types.Object) (Fact, bool) {
+	f, ok := p.objFacts[obj]
+	return f, ok
+}
+
+// ExportPackageFact attaches a single package-wide fact to this pass.
+func (p *Pass) ExportPackageFact(fact Fact) { p.pkgFact = fact }
+
+// PackageFact returns the fact attached by ExportPackageFact (nil if
+// none was exported).
+func (p *Pass) PackageFact() Fact { return p.pkgFact }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -86,9 +133,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// A Diagnostic is one finding.
+// ReportRangef records a diagnostic spanning the node rng, carrying an
+// end position so drivers (editors, the -json output) can highlight
+// the whole construct rather than a single column.
+func (p *Pass) ReportRangef(rng ast.Node, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      rng.Pos(),
+		End:      rng.End(),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding. End is optional (token.NoPos when the
+// analyzer reported a point position rather than a range).
 type Diagnostic struct {
 	Pos      token.Pos
+	End      token.Pos
 	Analyzer string
 	Message  string
 }
@@ -147,8 +208,33 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	diags = filterSuppressed(pkg, analyzers, diags)
+	diags = append(diags, MissingReasonDiagnostics(pkg.Fset, pkg.Files)...)
 	SortDiagnostics(pkg.Fset, diags)
 	return diags, nil
+}
+
+// SuppressionAnalyzerName labels diagnostics produced by the framework
+// itself about malformed //prestolint:allow comments. It is not a
+// runnable analyzer and cannot be suppressed.
+const SuppressionAnalyzerName = "suppression"
+
+// MissingReasonDiagnostics reports every //prestolint:allow comment in
+// files that lacks the "-- reason" tail. A suppression is a standing
+// exception to an invariant; one that does not document why the
+// exception is sound is itself a defect, so the bare form is a
+// diagnostic rather than a style nit.
+func MissingReasonDiagnostics(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, s := range CollectSuppressions(fset, files) {
+		if s.Reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      s.Pos,
+				Analyzer: SuppressionAnalyzerName,
+				Message:  "//prestolint:allow without a '-- reason' tail: every suppression must document why the exception is sound",
+			})
+		}
+	}
+	return out
 }
 
 // SortDiagnostics orders diags by (file, line, column, analyzer,

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"presto/internal/analysis/analysistest"
+	"presto/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "drops")
+}

@@ -1,0 +1,301 @@
+// Package goroleak flags goroutines with no reachable termination
+// path.
+//
+// A goroutine whose body loops forever without a way out — no return,
+// no break, no bounded range, no terminating call — outlives every
+// shutdown mechanism: prestod's Drain waits for workers that never
+// check a stop signal, tests leak runtimes, and -race reports become
+// unattributable. The analyzer demands that every `go` statement's
+// body (a function literal, or a same-package function resolved
+// through package-level facts) can terminate: infinite `for {}` loops
+// must contain a `return`, a `break` out of the loop, or a call that
+// does not return (panic, os.Exit, runtime.Goexit, log.Fatal).
+//
+// The usual correct shapes all pass: `for { select { case <-ctx.Done():
+// return ... } }`, `for v := range ch { ... }` (the producer closes
+// ch), bounded loops, and straight-line goroutines. Fire-and-forget
+// loops that are genuinely intended to live for the whole process
+// (e.g. a signal handler in main) take
+// //prestolint:allow goroleak -- reason.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"presto/internal/analysis"
+)
+
+// Analyzer is the goroleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:    "goroleak",
+	Aliases: []string{"leak"},
+	Doc: "flag go statements whose body can never terminate (an infinite for-loop " +
+		"with no return/break/terminating call, directly or through same-package " +
+		"calls); such goroutines leak across Drain and test shutdown",
+	SkipTestFiles: true,
+	Run:           run,
+}
+
+// summary is the per-function fact: whether calling the function can
+// never return (it contains an unexitable infinite loop, possibly via
+// same-package callees).
+type summary struct {
+	Forever bool
+}
+
+func run(pass *analysis.Pass) error {
+	// Index every function declaration and compute direct summaries.
+	type info struct {
+		forever bool
+		callees map[*types.Func]bool
+	}
+	infos := make(map[*types.Func]*info)
+	var order []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			infos[fn] = &info{
+				forever: bodyLoopsForever(pass, fd.Body),
+				callees: directCalls(pass, fd.Body),
+			}
+			order = append(order, fn)
+		}
+	}
+
+	// Fixpoint: a function that unconditionally reaches a
+	// never-returning same-package callee never returns either.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			in := infos[fn]
+			if in.forever {
+				continue
+			}
+			for callee := range in.callees {
+				if ci, ok := infos[callee]; ok && ci.forever {
+					in.forever = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fn := range order {
+		pass.ExportObjectFact(fn, summary{Forever: infos[fn].forever})
+	}
+
+	// Check every go statement.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var forever bool
+			switch fun := gs.Call.Fun.(type) {
+			case *ast.FuncLit:
+				forever = bodyLoopsForever(pass, fun.Body)
+				if !forever {
+					for callee := range directCalls(pass, fun.Body) {
+						if f, ok := pass.ObjectFact(callee); ok && f.(summary).Forever {
+							forever = true
+							break
+						}
+					}
+				}
+			default:
+				if callee := calleeFunc(pass, gs.Call); callee != nil {
+					if f, ok := pass.ObjectFact(callee); ok {
+						forever = f.(summary).Forever
+					}
+				}
+			}
+			if forever {
+				pass.ReportRangef(gs,
+					"goroutine has no reachable termination path: its body loops forever with no return or break, so it leaks across Drain and test shutdown; add a stop-channel/ctx.Done select case that returns (or //prestolint:allow goroleak -- reason)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the statically-known callee of call within this
+// package (nil for func values, other packages, or builtins).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// directCalls collects same-package functions called on body's own
+// execution path: calls inside nested function literals or go
+// statements belong to other goroutines/contexts and are excluded.
+func directCalls(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, n); fn != nil {
+				out[fn] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// bodyLoopsForever reports whether body contains an infinite for-loop
+// (nil condition) with no way out. Nested function literals are
+// separate bodies and are skipped.
+func bodyLoopsForever(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	// Collect loop labels so labeled breaks can be matched to their
+	// loops.
+	labels := make(map[ast.Stmt]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			labels[ls.Stmt] = ls.Label.Name
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopHasExit(pass, n, labels[n]) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopHasExit reports whether the infinite loop can be left: a return,
+// a break that targets it (direct or labeled), a goto, or a
+// never-returning call (panic, os.Exit, runtime.Goexit, log.Fatal*).
+func loopHasExit(pass *analysis.Pass, loop *ast.ForStmt, label string) bool {
+	has := false
+	// depth counts break-absorbing constructs (for/range/switch/select)
+	// between the loop and the statement under inspection: an unlabeled
+	// break at depth 0 exits our loop, deeper ones exit something else.
+	var scanStmt func(st ast.Stmt, depth int)
+	scanList := func(stmts []ast.Stmt, depth int) {
+		for _, st := range stmts {
+			scanStmt(st, depth)
+		}
+	}
+	scanStmt = func(st ast.Stmt, depth int) {
+		if has || st == nil {
+			return
+		}
+		switch st := st.(type) {
+		case *ast.ReturnStmt:
+			has = true
+		case *ast.BranchStmt:
+			switch st.Tok {
+			case token.BREAK:
+				if st.Label == nil && depth == 0 {
+					has = true
+				} else if st.Label != nil && label != "" && st.Label.Name == label {
+					has = true
+				}
+			case token.GOTO:
+				// Conservatively assume the target is outside the loop.
+				has = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isTerminatingCall(pass, call) {
+				has = true
+			}
+		case *ast.BlockStmt:
+			scanList(st.List, depth)
+		case *ast.IfStmt:
+			scanStmt(st.Init, depth)
+			scanList(st.Body.List, depth)
+			scanStmt(st.Else, depth)
+		case *ast.LabeledStmt:
+			scanStmt(st.Stmt, depth)
+		case *ast.ForStmt:
+			scanList(st.Body.List, depth+1)
+		case *ast.RangeStmt:
+			scanList(st.Body.List, depth+1)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanList(cc.Body, depth+1)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanList(cc.Body, depth+1)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanList(cc.Body, depth+1)
+				}
+			}
+		}
+	}
+	scanList(loop.Body.List, 0)
+	return has
+}
+
+// isTerminatingCall reports whether call never returns: the panic
+// builtin, os.Exit, runtime.Goexit, or log.Fatal*/log.Panic*.
+func isTerminatingCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		case "log":
+			switch fn.Name() {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"presto/internal/analysis/analysistest"
+	"presto/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "goro")
+}

@@ -1,0 +1,136 @@
+// Package goro is the goroleak fixture: leaky forever-loops (direct,
+// via select, via same-package calls) and the correct shapes that must
+// stay silent.
+package goro
+
+import (
+	"context"
+	"os"
+)
+
+func work() {}
+
+// A bare forever-loop worker: nothing ever stops it.
+func SpawnLeaky() {
+	go func() { // want `no reachable termination path`
+		for {
+			work()
+		}
+	}()
+}
+
+// A select loop with no returning case leaks too: when the channel
+// closes it spins on zero values forever.
+func SpawnSelectLeaky(ch chan int) {
+	go func() { // want `no reachable termination path`
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// ctx.Done with a return is the canonical fix.
+func SpawnCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Range over a channel terminates when the producer closes it.
+func SpawnRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// An ok-check with break is a termination path.
+func SpawnBreak(ch chan struct{}) {
+	go func() {
+		for {
+			if _, ok := <-ch; !ok {
+				break
+			}
+		}
+	}()
+}
+
+type worker struct{}
+
+func (w *worker) loop() {
+	for {
+		work()
+	}
+}
+
+// run reaches loop unconditionally, so it never returns either — the
+// fact has to propagate through the call.
+func (w *worker) run() { w.loop() }
+
+func SpawnNamedLeaky(w *worker) {
+	go w.loop() // want `no reachable termination path`
+}
+
+func SpawnWrapped(w *worker) {
+	go w.run() // want `no reachable termination path`
+}
+
+// Straight-line goroutines terminate on their own.
+func SpawnFinite() {
+	go work()
+}
+
+// A terminating call (os.Exit, panic, log.Fatal) is an exit.
+func SpawnExit() {
+	go func() {
+		for {
+			os.Exit(1)
+		}
+	}()
+}
+
+// break inside an inner switch exits the switch, not the loop: still a
+// leak.
+func SpawnInnerBreak(ch chan int) {
+	go func() { // want `no reachable termination path`
+		for {
+			switch <-ch {
+			case 1:
+				break
+			}
+		}
+	}()
+}
+
+// A labeled break out of the loop is a real exit.
+func SpawnLabeledBreak(ch chan int) {
+	go func() {
+	outer:
+		for {
+			switch <-ch {
+			case 1:
+				break outer
+			}
+		}
+	}()
+}
+
+// Bounded loops are fine.
+func SpawnBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"presto/internal/analysis/analysistest"
+	"presto/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "hot")
+}

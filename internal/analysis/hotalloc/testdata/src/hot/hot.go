@@ -1,0 +1,86 @@
+// Package hot is the hotalloc fixture: every heap-escaping construct
+// inside a //prestolint:noalloc function, plus the accepted shapes
+// (reslice-append, pointer boxing, constants, unannotated functions).
+package hot
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	segs []segment
+}
+
+type segment struct {
+	id   int
+	live bool
+}
+
+var sinkAny interface{}
+
+//prestolint:noalloc
+func Closure(r *ring) func() {
+	n := 0
+	return func() { n++ } // want `variable-capturing closure`
+}
+
+//prestolint:noalloc
+func NoCapture() func() {
+	return func() {} // capture-free closures are static; fine
+}
+
+//prestolint:noalloc
+func Format(v int) {
+	fmt.Println(v) // want `calls fmt.Println`
+}
+
+//prestolint:noalloc
+func Boxing(v int, p *ring) {
+	sinkAny = v // want `converts int to interface`
+	sinkAny = p // pointer-shaped: fits the data word, no boxing
+	sinkAny = 7 // constants box to static data
+	take(v)     // want `converts int to interface`
+	take(p)
+}
+
+func take(v interface{}) {}
+
+//prestolint:noalloc
+func Append(r *ring, v int) {
+	r.buf = append(r.buf, v) // want `appends through a bare slice`
+	kept := r.segs[:0]
+	for _, s := range r.segs {
+		if s.live {
+			kept = append(kept, s) // reuse of the backing array: fine
+		}
+	}
+	r.segs = kept
+	r.buf = append(r.buf[:0], v) // explicit reslice: fine
+}
+
+//prestolint:noalloc
+func Literals() {
+	m := map[string]int{} // want `builds a map literal`
+	s := []int{1, 2, 3}   // want `builds a slice literal`
+	a := [2]int{1, 2}     // array literal is a value; fine
+	v := segment{id: 1}   // struct literal is a value; fine
+	p := &segment{id: 2}  // want `heap-allocates a composite literal`
+	b := make([]byte, 64) // want `calls make`
+	q := new(segment)     // want `calls new`
+	_, _, _, _, _, _, _ = m, s, a, v, p, b, q
+}
+
+//prestolint:noalloc
+func Strings(a, b string, raw []byte) {
+	c := a + b          // want `concatenates strings`
+	d := string(raw)    // want `converts \[\]byte/\[\]rune to string`
+	e := []byte(a)      // want `converts string to \[\]byte/\[\]rune`
+	const f = "x" + "y" // constant folding; fine
+	_, _, _, _ = c, d, e, f
+}
+
+// Unannotated functions may allocate freely.
+func Cold() interface{} {
+	m := map[string]int{"a": 1}
+	s := fmt.Sprint(m)
+	return s
+}

@@ -1,0 +1,549 @@
+// Package lockorder builds a per-package mutex-acquisition graph and
+// reports cyclic or inconsistent lock orderings.
+//
+// Deadlocks from inconsistent lock order are the concurrency failure
+// class the serving layer is most exposed to: prestod nests the server
+// job lock, the daemon log mutex, and per-job event-broker mutexes,
+// and every new worker or streaming endpoint adds acquisition paths.
+// A cycle in the may-hold-while-acquiring relation (A held while B is
+// acquired on one path, B held while A is acquired on another) is a
+// latent deadlock even if today's schedules never interleave the two
+// paths.
+//
+// Lock identity is type-level: every instance of struct field T.mu is
+// one node, as is every package-level mutex variable. Acquisitions are
+// traced through sync.Mutex.Lock, sync.RWMutex.Lock/RLock (including
+// promoted methods of embedded mutexes); releases through
+// Unlock/RUnlock, with defer treated as function-scoped. The analysis
+// is interprocedural within the package: per-function acquisition
+// summaries are exported as package-level facts and folded into
+// callers, so a cycle split across helper functions is still found.
+//
+// The type-level approximation means two distinct instances of the
+// same struct locked in a hand-over-hand pattern look like a
+// self-cycle; annotate such sites with
+// //prestolint:allow lockorder -- reason.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"presto/internal/analysis"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:    "lockorder",
+	Aliases: []string{"deadlock"},
+	Doc: "build the package's mutex-acquisition graph (which locks are acquired " +
+		"while which others are held, including through same-package calls) and " +
+		"report cycles: inconsistent lock orderings are latent deadlocks",
+	Run: run,
+}
+
+// lockUse is one direct acquisition with the locks held at that point.
+type lockUse struct {
+	lock types.Object
+	held []types.Object
+	node ast.Node
+}
+
+// callUse is a same-package call made while holding locks.
+type callUse struct {
+	callee types.Object
+	held   []types.Object
+	node   ast.Node
+}
+
+// funcSummary is the per-function fact: every lock the function may
+// acquire, directly or through same-package calls (completed to a
+// fixpoint in run).
+type funcSummary struct {
+	acquires map[types.Object]bool
+	callees  map[types.Object]bool
+}
+
+// edge is one may-hold-while-acquiring observation.
+type edge struct {
+	from, to types.Object
+	node     ast.Node
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: scan every function body, collecting direct
+	// acquisitions (with held sets), same-package calls under lock,
+	// and per-function summaries.
+	var uses []lockUse
+	var calls []callUse
+	names := make(map[types.Object]string)
+	funcs := make(map[types.Object]*funcSummary)
+	var funcOrder []types.Object
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			sum := &funcSummary{
+				acquires: make(map[types.Object]bool),
+				callees:  make(map[types.Object]bool),
+			}
+			funcs[obj] = sum
+			funcOrder = append(funcOrder, obj)
+			s := &scanner{pass: pass, names: names, sum: sum}
+			s.block(fd.Body.List, nil)
+			// Function literals are separate execution contexts (they
+			// mostly run on other goroutines or at defer time): scan
+			// each with an empty held set. Their acquisitions go to a
+			// throwaway summary — a goroutine's locks are not held by
+			// the spawning function's callers.
+			for len(s.lits) > 0 {
+				lit := s.lits[0]
+				s.lits = s.lits[1:]
+				s.sum = &funcSummary{
+					acquires: make(map[types.Object]bool),
+					callees:  make(map[types.Object]bool),
+				}
+				s.block(lit.Body.List, nil)
+			}
+			uses = append(uses, s.uses...)
+			calls = append(calls, s.calls...)
+		}
+	}
+
+	// Pass 2: complete the summaries to a fixpoint so acquires covers
+	// same-package transitive callees, and export them as facts.
+	for changed := true; changed; {
+		changed = false
+		for _, fo := range funcOrder {
+			sum := funcs[fo]
+			for callee := range sum.callees {
+				csum, ok := funcs[callee]
+				if !ok {
+					continue
+				}
+				for l := range csum.acquires {
+					if !sum.acquires[l] {
+						sum.acquires[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, fo := range funcOrder {
+		pass.ExportObjectFact(fo, funcs[fo])
+	}
+
+	// Pass 3: build the edge list — direct acquisitions under held
+	// locks, plus every lock a callee may take while the caller holds
+	// locks.
+	var edges []edge
+	for _, u := range uses {
+		for _, h := range u.held {
+			edges = append(edges, edge{from: h, to: u.lock, node: u.node})
+		}
+	}
+	for _, c := range calls {
+		sum, ok := funcs[c.callee]
+		if !ok {
+			continue
+		}
+		var acquired []types.Object
+		for l := range sum.acquires {
+			acquired = append(acquired, l)
+		}
+		sort.Slice(acquired, func(i, j int) bool { return names[acquired[i]] < names[acquired[j]] })
+		for _, h := range c.held {
+			for _, l := range acquired {
+				edges = append(edges, edge{from: h, to: l, node: c.node})
+			}
+		}
+	}
+
+	// Pass 4: report each (from, to) pair that closes a cycle, once,
+	// at its first observation site.
+	adj := make(map[types.Object][]types.Object)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reported := make(map[[2]types.Object]bool)
+	for _, e := range edges {
+		key := [2]types.Object{e.from, e.to}
+		if reported[key] {
+			continue
+		}
+		if e.from == e.to {
+			reported[key] = true
+			pass.ReportRangef(e.node,
+				"lock %s acquired while already held: self-deadlock on reentrant acquisition (or two instances locked hand-over-hand; //prestolint:allow lockorder -- reason if instances are provably distinct)",
+				names[e.from])
+			continue
+		}
+		if path := findPath(adj, e.to, e.from, names); path != nil {
+			reported[key] = true
+			pass.ReportRangef(e.node,
+				"lock order cycle: %s acquired while holding %s, but elsewhere the order is reversed (cycle: %s) — inconsistent lock orderings deadlock under concurrency; pick one global order (or //prestolint:allow lockorder -- reason)",
+				names[e.to], names[e.from], cycleString(e.from, path, names))
+		}
+	}
+	return nil
+}
+
+// findPath returns a path from -> ... -> to through the acquisition
+// graph (nil if unreachable), exploring neighbors in name order so
+// reports are deterministic.
+func findPath(adj map[types.Object][]types.Object, from, to types.Object, names map[types.Object]string) []types.Object {
+	type item struct {
+		node types.Object
+		path []types.Object
+	}
+	seen := map[types.Object]bool{from: true}
+	queue := []item{{from, []types.Object{from}}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		next := append([]types.Object(nil), adj[it.node]...)
+		sort.Slice(next, func(i, j int) bool { return names[next[i]] < names[next[j]] })
+		for _, n := range next {
+			if seen[n] {
+				continue
+			}
+			path := append(append([]types.Object(nil), it.path...), n)
+			if n == to {
+				return path
+			}
+			seen[n] = true
+			queue = append(queue, item{n, path})
+		}
+	}
+	return nil
+}
+
+func cycleString(start types.Object, path []types.Object, names map[types.Object]string) string {
+	var b strings.Builder
+	b.WriteString(names[start])
+	for _, p := range path {
+		b.WriteString(" -> ")
+		b.WriteString(names[p])
+	}
+	return b.String()
+}
+
+// scanner walks one function body tracking the held-lock set.
+type scanner struct {
+	pass  *analysis.Pass
+	names map[types.Object]string
+	sum   *funcSummary
+	uses  []lockUse
+	calls []callUse
+	lits  []*ast.FuncLit
+}
+
+// block walks stmts sequentially, threading the held set through; the
+// returned slice is the held set after the last statement.
+func (s *scanner) block(stmts []ast.Stmt, held []types.Object) []types.Object {
+	for _, st := range stmts {
+		held = s.stmt(st, held)
+	}
+	return held
+}
+
+// stmt processes one statement. Branch bodies get copies of the held
+// set (a lock/unlock pair inside a branch does not leak out); the
+// straight-line held set is returned.
+func (s *scanner) stmt(st ast.Stmt, held []types.Object) []types.Object {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		return s.expr(st.X, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			held = s.expr(e, held)
+		}
+		return held
+	case *ast.DeferStmt:
+		// defer mu.Unlock() holds to function end: no release. A
+		// deferred closure is queued for later scanning; deferred
+		// direct Lock calls are pathological and ignored.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.lits = append(s.lits, lit)
+		}
+		return held
+	case *ast.GoStmt:
+		// The spawned goroutine starts with an empty held set.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.lits = append(s.lits, lit)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			held = s.expr(e, held)
+		}
+		return held
+	case *ast.BlockStmt:
+		return s.block(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		held = s.expr(st.Cond, held)
+		s.block(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			s.stmt(st.Else, copyHeld(held))
+		}
+		return held
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			held = s.expr(st.Cond, held)
+		}
+		s.block(st.Body.List, copyHeld(held))
+		return held
+	case *ast.RangeStmt:
+		held = s.expr(st.X, held)
+		s.block(st.Body.List, copyHeld(held))
+		return held
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			held = s.expr(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.block(cc.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+	}
+	return held
+}
+
+// expr processes calls within one expression in evaluation order.
+func (s *scanner) expr(e ast.Expr, held []types.Object) []types.Object {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			held = s.expr(a, held)
+		}
+		return s.call(e, held)
+	case *ast.FuncLit:
+		s.lits = append(s.lits, e)
+		return held
+	case *ast.BinaryExpr:
+		held = s.expr(e.X, held)
+		return s.expr(e.Y, held)
+	case *ast.UnaryExpr:
+		return s.expr(e.X, held)
+	case *ast.ParenExpr:
+		return s.expr(e.X, held)
+	}
+	return held
+}
+
+// call classifies one call: lock acquire, lock release, or a
+// same-package call to fold in later.
+func (s *scanner) call(call *ast.CallExpr, held []types.Object) []types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// Plain ident call: same-package function?
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if fn, ok := s.pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() == s.pass.Pkg {
+				s.record(fn, call, held)
+			}
+		}
+		return held
+	}
+	fn, ok := s.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return held
+	}
+	if lock, acquire := s.lockOp(sel, fn); lock != nil {
+		if acquire {
+			s.uses = append(s.uses, lockUse{lock: lock, held: copyHeld(held), node: call})
+			s.sum.acquires[lock] = true
+			return append(held, lock)
+		}
+		return release(held, lock)
+	}
+	if fn.Pkg() == s.pass.Pkg {
+		s.record(fn, call, held)
+	}
+	return held
+}
+
+// record notes a same-package call (for interprocedural edges and
+// summary fixpointing).
+func (s *scanner) record(fn *types.Func, call *ast.CallExpr, held []types.Object) {
+	s.sum.callees[fn] = true
+	if len(held) > 0 {
+		s.calls = append(s.calls, callUse{callee: fn, held: copyHeld(held), node: call})
+	}
+}
+
+// lockOp reports whether sel.Sel is a sync mutex Lock/RLock (acquire
+// true) or Unlock/RUnlock (acquire false) and resolves the lock's
+// type-level identity. A nil lock means "not a mutex operation we can
+// attribute" (locals, parameters, or not a mutex at all).
+func (s *scanner) lockOp(sel *ast.SelectorExpr, fn *types.Func) (lock types.Object, acquire bool) {
+	var isAcquire bool
+	switch fn.Name() {
+	case "Lock", "RLock":
+		isAcquire = true
+	case "Unlock", "RUnlock":
+		isAcquire = false
+	default:
+		return nil, false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false
+	}
+	obj := s.lockIdent(sel)
+	if obj == nil {
+		return nil, false
+	}
+	if _, ok := s.names[obj]; !ok {
+		s.names[obj] = displayName(obj)
+	}
+	return obj, isAcquire
+}
+
+// lockIdent resolves the identity of the mutex in `<expr>.Lock()`:
+// the struct field object for field-held mutexes (including promoted
+// methods of embedded mutexes), or the variable object for
+// package-level mutexes. Locals and parameters return nil — their
+// identity is call-site-specific and cannot be named at package level.
+func (s *scanner) lockIdent(sel *ast.SelectorExpr) types.Object {
+	// Promoted method of an embedded mutex: s.Lock() where the method
+	// selection path runs through an embedded sync.Mutex field.
+	if msel, ok := s.pass.TypesInfo.Selections[sel]; ok {
+		idx := msel.Index()
+		if len(idx) > 1 {
+			// Walk the field path to the embedded mutex field.
+			t := msel.Recv()
+			var field *types.Var
+			for _, i := range idx[:len(idx)-1] {
+				st, ok := deref(t).Underlying().(*types.Struct)
+				if !ok {
+					return nil
+				}
+				field = st.Field(i)
+				t = field.Type()
+			}
+			return field
+		}
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		obj := s.pass.TypesInfo.Uses[x]
+		if v, ok := obj.(*types.Var); ok {
+			// Package-level mutex var: stable identity. Locals: skip.
+			if v.Parent() == s.pass.Pkg.Scope() {
+				return v
+			}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		// Field access s.mu (possibly chained s.broker.mu): identity is
+		// the final field object.
+		if fsel, ok := s.pass.TypesInfo.Selections[x]; ok && fsel.Kind() == types.FieldVal {
+			return fsel.Obj()
+		}
+		if obj, ok := s.pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return obj
+		}
+		return nil
+	}
+	return nil
+}
+
+// displayName renders a lock object for diagnostics: "Type.field" for
+// struct-field mutexes, "pkg.var" for package-level ones.
+func displayName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		// Find the struct type name via the field's position in its
+		// owner; fall back to the bare field name.
+		if named := fieldOwner(v); named != "" {
+			return named + "." + v.Name()
+		}
+		return v.Name()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// fieldOwner returns the name of the named type that declares field v,
+// scanning the package scope ("" if not found — e.g. an anonymous
+// struct).
+func fieldOwner(v *types.Var) string {
+	if v.Pkg() == nil {
+		return ""
+	}
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func copyHeld(held []types.Object) []types.Object {
+	return append([]types.Object(nil), held...)
+}
+
+// release removes the most recent acquisition of lock from held.
+func release(held []types.Object, lock types.Object) []types.Object {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == lock {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}

@@ -1,0 +1,141 @@
+// Package locks is the lockorder fixture: AB/BA cycles, a cycle split
+// across helper functions, reentrant acquisition, and clean consistent
+// orderings that must stay silent.
+package locks
+
+import "sync"
+
+// Server nests two mutexes in opposite orders across its methods — the
+// classic inconsistent-ordering deadlock.
+type Server struct {
+	a sync.Mutex
+	b sync.RWMutex
+}
+
+func (s *Server) abPath() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `lock order cycle`
+	defer s.b.Unlock()
+}
+
+func (s *Server) baPath() {
+	s.b.RLock()
+	defer s.b.RUnlock()
+	s.a.Lock() // want `lock order cycle`
+	defer s.a.Unlock()
+}
+
+// Pool splits its cycle across a helper: the mu->jobs edge only exists
+// through the addJob call, so finding it needs the per-function
+// acquisition facts.
+type Pool struct {
+	mu   sync.Mutex
+	jobs sync.Mutex
+}
+
+func (p *Pool) lockJobsUnderMu() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.addJob() // want `lock order cycle`
+}
+
+func (p *Pool) addJob() {
+	p.jobs.Lock()
+	defer p.jobs.Unlock()
+}
+
+func (p *Pool) lockMuUnderJobs() {
+	p.jobs.Lock()
+	p.mu.Lock() // want `lock order cycle`
+	p.mu.Unlock()
+	p.jobs.Unlock()
+}
+
+// Reentrant acquisition of the same (type-level) lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) incrTwice() {
+	c.mu.Lock()
+	c.mu.Lock() // want `acquired while already held`
+	c.n += 2
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Clean holds two mutexes always in the same order — no cycle, no
+// diagnostics — and demonstrates the patterns the scanner must not
+// misread.
+type Clean struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (x *Clean) nestedConsistent() {
+	x.c.Lock()
+	defer x.c.Unlock()
+	x.d.Lock()
+	defer x.d.Unlock()
+}
+
+func (x *Clean) nestedConsistentAgain() {
+	x.c.Lock()
+	x.d.Lock()
+	x.d.Unlock()
+	x.c.Unlock()
+}
+
+// Sequential (non-nested) opposite-order acquisition is fine: d is
+// released before c is taken.
+func (x *Clean) sequential() {
+	x.d.Lock()
+	x.d.Unlock()
+	x.c.Lock()
+	x.c.Unlock()
+}
+
+// A goroutine starts with an empty held set: locking d on it while the
+// spawner holds c is not a c->d edge from the caller's point of view,
+// and crucially its acquisitions must not leak into this function's
+// summary (callers of spawnWorker holding d would otherwise see a
+// false d->c cycle via sequential+goroutine).
+func (x *Clean) spawnWorker() {
+	x.c.Lock()
+	defer x.c.Unlock()
+	go func() {
+		x.d.Lock()
+		x.d.Unlock()
+	}()
+}
+
+// Embedded mutex: promoted Lock resolves to the embedded field.
+type Registry struct {
+	sync.Mutex
+	entries map[string]int
+}
+
+func (r *Registry) add(k string) {
+	r.Lock()
+	defer r.Unlock()
+	r.entries[k]++
+}
+
+// Package-level mutex ordered consistently against a field mutex.
+var pkgMu sync.Mutex
+
+func withPkg(x *Clean) {
+	pkgMu.Lock()
+	defer pkgMu.Unlock()
+	x.c.Lock()
+	defer x.c.Unlock()
+}
+
+// Local mutexes have no package-level identity and are skipped.
+func local() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}

@@ -5,6 +5,10 @@ package suite
 
 import (
 	"presto/internal/analysis"
+	"presto/internal/analysis/errdrop"
+	"presto/internal/analysis/goroleak"
+	"presto/internal/analysis/hotalloc"
+	"presto/internal/analysis/lockorder"
 	"presto/internal/analysis/maporder"
 	"presto/internal/analysis/niltracer"
 	"presto/internal/analysis/simclock"
@@ -14,6 +18,10 @@ import (
 // Analyzers returns every analyzer in the suite, in a fixed order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		errdrop.Analyzer,
+		goroleak.Analyzer,
+		hotalloc.Analyzer,
+		lockorder.Analyzer,
 		maporder.Analyzer,
 		niltracer.Analyzer,
 		simclock.Analyzer,

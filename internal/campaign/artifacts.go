@@ -244,7 +244,7 @@ func (r *Report) WriteArtifacts(dir, gitDescribe string) error {
 			return err
 		}
 		if err := fn(f); err != nil {
-			f.Close()
+			_ = f.Close() // fn's failure is the one to report; close is best-effort cleanup
 			return err
 		}
 		return f.Close()

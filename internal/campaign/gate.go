@@ -81,7 +81,7 @@ func (g *Golden) Save(path string) error {
 		return err
 	}
 	if err := g.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write failure is the one to report; close is best-effort cleanup
 		return err
 	}
 	return f.Close()

@@ -122,6 +122,23 @@ func (r *Report) FailedReplicas() []FailedReplica {
 }
 
 // timing is the execution-side record kept out of the report.
+// syncWriter serializes everything written to the progress stream:
+// worker-pool finish lines (already serialized by the timing lock),
+// replica panic reports — which fire on the replica's own goroutine
+// and, for an abandoned (timed-out or cancelled) replica, possibly
+// after the pool has moved on — and the final summary line. Each
+// fmt.Fprint* issues a single Write, so lines stay whole.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
 type timing struct {
 	mu          sync.Mutex
 	started     time.Time
@@ -161,6 +178,12 @@ func RunContext(ctx context.Context, spec *Spec) (*Report, error) {
 		workers = n
 	}
 
+	// One serialized stream for all progress writers; see syncWriter.
+	var progress io.Writer
+	if spec.Progress != nil {
+		progress = &syncWriter{w: spec.Progress}
+	}
+
 	tm := &timing{
 		started:     time.Now(),
 		workers:     workers,
@@ -196,7 +219,7 @@ func RunContext(ctx context.Context, spec *Spec) (*Report, error) {
 				cell := spec.Cells[j.ci]
 				seed := seeds[j.si]
 				start := time.Now()
-				res, err := runReplica(ctx, cell, seed, spec.CellTimeout, spec.Progress)
+				res, err := runReplica(ctx, cell, seed, spec.CellTimeout, progress)
 				wall := time.Since(start)
 				rr := ReplicaResult{Seed: seed, Metrics: res.Metrics}
 				if err != nil {
@@ -208,7 +231,7 @@ func RunContext(ctx context.Context, spec *Spec) (*Report, error) {
 				if err == nil {
 					spec.Stats.observe(res)
 				}
-				tm.finish(spec.Progress, cell.ID, seed, wall, err)
+				tm.finish(progress, cell.ID, seed, wall, err)
 			}
 		}()
 	}
@@ -250,8 +273,8 @@ dispatch:
 			dists:      dists,
 		}
 	}
-	if spec.Progress != nil {
-		fmt.Fprintf(spec.Progress, "[campaign] done: %d replicas (%d cells × %d seeds), %d failed, wall %v, workers=%d, utilization %.0f%%\n",
+	if progress != nil {
+		fmt.Fprintf(progress, "[campaign] done: %d replicas (%d cells × %d seeds), %d failed, wall %v, workers=%d, utilization %.0f%%\n",
 			tm.total, len(spec.Cells), len(seeds), tm.failed, tm.wall.Round(time.Millisecond), workers, tm.utilization()*100)
 	}
 	return rep, nil

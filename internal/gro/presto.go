@@ -194,6 +194,8 @@ func (g *Presto) Receive(p *packet.Packet) {
 // Flush implements Handler: Algorithm 2's flush function, run at the
 // end of every poll event (and again from a timer while segments are
 // held).
+//
+//prestolint:noalloc
 func (g *Presto) Flush() {
 	now := g.Eng.Now()
 	var nextDeadline sim.Time = -1

@@ -66,7 +66,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //prestolint:allow errdrop -- response body is read-only; close on the read side cannot lose data
 	if resp.StatusCode >= 300 {
 		return apiError(resp)
 	}
@@ -151,7 +151,7 @@ func (c *Client) Events(ctx context.Context, id string, since int, fn func(Event
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //prestolint:allow errdrop -- response body is read-only; close on the read side cannot lose data
 	if resp.StatusCode >= 300 {
 		return apiError(resp)
 	}
@@ -204,7 +204,7 @@ func (c *Client) Stats(ctx context.Context, id string, follow bool, interval tim
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //prestolint:allow errdrop -- response body is read-only; close on the read side cannot lose data
 	if resp.StatusCode >= 300 {
 		return apiError(resp)
 	}
@@ -254,7 +254,7 @@ func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //prestolint:allow errdrop -- response body is read-only; close on the read side cannot lose data
 	if resp.StatusCode >= 300 {
 		return nil, apiError(resp)
 	}

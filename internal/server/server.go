@@ -433,7 +433,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "artifact %s: %v", name, err)
 		return
 	}
-	defer f.Close()
+	defer f.Close() //prestolint:allow errdrop -- artifact opened read-only for serving; close cannot lose data
 	if strings.HasSuffix(name, ".json") {
 		w.Header().Set("Content-Type", "application/json")
 	} else {

@@ -157,7 +157,7 @@ func WriteFile(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	if err := fn(f); err != nil {
-		f.Close()
+		_ = f.Close() // fn's failure is the one to report; close is best-effort cleanup
 		return err
 	}
 	return f.Close()

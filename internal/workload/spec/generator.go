@@ -74,7 +74,7 @@ type clientRun struct {
 // silently reshuffle a client's stream.
 func clientStream(runSeed, specSeed uint64, idx int, id string) *sim.RNG {
 	h := fnv.New64a()
-	h.Write([]byte(id))
+	h.Write([]byte(id)) //prestolint:allow errdrop -- hash.Hash.Write is documented to never return an error
 	mixed := runSeed
 	mixed ^= specSeed * 0x9e3779b97f4a7c15
 	mixed ^= uint64(idx+1) * 0xbf58476d1ce4e5b9
