@@ -51,6 +51,7 @@ var campaignBuilders = []struct {
 	{"fig17", "Failure handling: throughput per stage", fig17Cells},
 	{"fig18", "Failure handling: RTT per stage (bijection)", fig18Cells},
 	{"ablations", "Design-choice ablations (flowcell size, GRO alpha, buffers, DCTCP, tunnels)", ablationCells},
+	{"podtraffic", "Pod-scale cross-pod elephants on a 3-tier Clos (honors -shards)", podtrafficCells},
 }
 
 // CampaignExperimentIDs lists the experiment IDs in render order.
@@ -547,6 +548,33 @@ func ablationCells(opt Options) []campaign.Cell {
 				rules += c.Net.Switch(leaf).LabelCount()
 			}
 			return campaign.Result{Metrics: campaign.Values{"tput_gbps": g, "leaf_rules": float64(rules)}}, nil
+		})
+	}
+	return cells
+}
+
+// podtrafficCells drives cross-pod elephants on a pod-based 3-tier
+// Clos. Options.Shards selects the engine partitioning; every metric
+// below is bit-identical across shard counts (the events metric pins
+// exactly that in golden gates), so the knob only changes wall-clock
+// time.
+func podtrafficCells(opt Options) []campaign.Cell {
+	const pods, hostsPerLeaf = 4, 2
+	var cells []campaign.Cell
+	for _, sys := range []System{SysECMP, SysPresto} {
+		sys := sys
+		cells = append(cells, campaign.Cell{
+			Experiment: "podtraffic",
+			ID:         fmt.Sprintf("podtraffic/pods=%d/sys=%v", pods, sys),
+			Run: func(seed uint64) (campaign.Result, error) {
+				r := RunPodTraffic(sys, pods, hostsPerLeaf, seeded(opt, seed))
+				return campaign.Result{Metrics: campaign.Values{
+					"tput_gbps": r.MeanTput,
+					"fairness":  r.Fairness,
+					"loss_pct":  r.LossRate * 100,
+					"events":    float64(r.Events),
+				}}, nil
+			},
 		})
 	}
 	return cells

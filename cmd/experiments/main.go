@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 5*time.Minute, "wall-clock budget per cell replica (0 = none)")
 		duration = fs.Duration("duration", 200*time.Millisecond, "measurement window per run (simulated)")
 		warmup   = fs.Duration("warmup", 50*time.Millisecond, "warmup per run (simulated)")
+		shards   = fs.Int("shards", 1, "per-pod engine shards for pod-scale experiments (podtraffic); results are bit-identical to serial, 1 = serial")
 		format   = fs.String("format", "table", "stdout format: table (paper-style), json (campaign report), csv (envelope rows)")
 		outDir   = fs.String("out", "", "directory for campaign artifacts (report.json, report.csv, manifest.json)")
 		csvDir   = fs.String("csv", "", "directory to write raw CDF series as CSV (for replotting the figures)")
@@ -128,6 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt := presto.Options{
 		Duration: sim.FromDuration(*duration),
 		Warmup:   sim.FromDuration(*warmup),
+		Shards:   *shards,
 	}
 	// Per-run component probes and event traces share one registry and
 	// are only deterministic when the runs execute serially; at higher

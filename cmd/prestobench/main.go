@@ -36,8 +36,11 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
+	presto "presto"
 	"presto/internal/bench"
+	"presto/internal/sim"
 )
 
 // Record is one benchmark's measurement in the JSON artifact.
@@ -78,6 +81,8 @@ func run(args []string, stdout io.Writer) error {
 	gate := fs.String("gate", "", "compare gated benchmarks' allocs/op against this baseline JSON; exit non-zero on regression")
 	threshold := fs.Float64("gate-threshold-pct", 20, "allowed allocs/op regression over the baseline, percent")
 	filter := fs.String("run", "", "only run benchmarks whose name contains this substring")
+	speedupFloor := fs.Float64("speedup-floor", 0, "require the sharded pod-scale run to be at least this multiple faster than serial (0 = off); bit-identity is verified either way")
+	speedupMinCPUs := fs.Int("speedup-min-cpus", 8, "skip the speedup ratio check (not the identity check) on machines with fewer CPUs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,9 +131,75 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *gate != "" {
-		return gateAgainst(stdout, art, *gate, *threshold)
+		if err := gateAgainst(stdout, art, *gate, *threshold); err != nil {
+			return err
+		}
+	}
+	if *speedupFloor > 0 {
+		return speedupGate(stdout, *speedupFloor, *speedupMinCPUs)
 	}
 	return nil
+}
+
+// speedupGate runs the pod-scale workload serial and sharded and fails
+// when the sharded engine is less than floor× faster. Bit-identity
+// between the two runs is checked unconditionally — divergence is a
+// correctness bug regardless of hardware. The wall-clock ratio is only
+// enforced when the machine has at least minCPUs CPUs: with fewer
+// cores than shards the barriers cost wall time and no speedup is
+// physically possible (e.g. single-core CI runners).
+func speedupGate(stdout io.Writer, floor float64, minCPUs int) error {
+	pods, hostsPerLeaf, shards := 8, 2, 8
+	warmup, duration := bench.SpeedupWindow()
+	s := measureShardSpeedup(pods, hostsPerLeaf, shards, warmup, duration)
+	if !s.Identical {
+		return fmt.Errorf("speedup gate: %d-shard run diverged from serial — the bit-identity contract is broken", s.Shards)
+	}
+	if runtime.NumCPU() < minCPUs {
+		fmt.Fprintf(stdout, "speedup gate skipped: %d CPUs < %d (bit-identity verified: serial %v, sharded %v)\n",
+			runtime.NumCPU(), minCPUs, s.Serial.Round(time.Millisecond), s.Sharded.Round(time.Millisecond))
+		return nil
+	}
+	ratio := float64(s.Serial) / float64(s.Sharded)
+	if ratio < floor {
+		return fmt.Errorf("speedup gate: %d shards ran %.2fx faster than serial, floor is %.2fx (serial %v, sharded %v)",
+			s.Shards, ratio, floor, s.Serial.Round(time.Millisecond), s.Sharded.Round(time.Millisecond))
+	}
+	fmt.Fprintf(stdout, "speedup gate passed: %d shards %.2fx faster than serial (floor %.2fx, serial %v, sharded %v)\n",
+		s.Shards, ratio, floor, s.Serial.Round(time.Millisecond), s.Sharded.Round(time.Millisecond))
+	return nil
+}
+
+// shardSpeedup is one serial-vs-sharded wall-clock comparison of the
+// pod-scale workload, plus whether the two runs were bit-identical
+// (they must be: that is the sharded engine's core contract).
+type shardSpeedup struct {
+	Shards          int
+	Serial, Sharded time.Duration
+	Identical       bool
+}
+
+// measureShardSpeedup runs the pod-scale workload once on the serial
+// engine and once under `shards` shards, timing both. Wall-clock
+// reads live here rather than internal/bench because the harness
+// layer is exempt from the simclock analyzer and simulator packages
+// are not.
+func measureShardSpeedup(pods, hostsPerLeaf, shards int, warmup, duration sim.Time) shardSpeedup {
+	opt := presto.Options{Seed: 1, Warmup: warmup, Duration: duration}
+	t0 := time.Now()
+	serial := presto.RunPodTraffic(presto.SysPresto, pods, hostsPerLeaf, opt)
+	t1 := time.Now()
+	opt.Shards = shards
+	sharded := presto.RunPodTraffic(presto.SysPresto, pods, hostsPerLeaf, opt)
+	t2 := time.Now()
+	s := shardSpeedup{
+		Shards:  sharded.Shards,
+		Serial:  t1.Sub(t0),
+		Sharded: t2.Sub(t1),
+	}
+	sharded.Shards = serial.Shards
+	s.Identical = serial == sharded
+	return s
 }
 
 // gateAgainst fails when any gated benchmark's allocs/op exceeds the

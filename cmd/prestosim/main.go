@@ -52,7 +52,10 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("prestosim", flag.ContinueOnError)
 	var (
 		system     = fs.String("system", "presto", "ecmp | mptcp | presto | optimal | flowlet100 | flowlet500 | presto-ecmp | per-packet")
-		workload   = fs.String("workload", "stride", "stride | shuffle | random | bijection, a workload-spec preset, or a spec.json path")
+		workload   = fs.String("workload", "stride", "stride | shuffle | random | bijection | podtraffic, a workload-spec preset, or a spec.json path")
+		shards     = fs.Int("shards", 1, "per-pod engine shards for -workload podtraffic; results are bit-identical to serial, 1 = serial")
+		pods       = fs.Int("pods", 4, "pod count for -workload podtraffic (2 aggs, 2 leaves per pod)")
+		hostsLeaf  = fs.Int("hosts-per-leaf", 2, "hosts per leaf for -workload podtraffic")
 		duration   = fs.Duration("duration", 200*time.Millisecond, "measurement window (simulated)")
 		warmup     = fs.Duration("warmup", 50*time.Millisecond, "warmup before measurement (simulated)")
 		seed       = fs.Uint64("seed", 1, "random seed (base seed with -seeds > 1)")
@@ -72,6 +75,10 @@ func run(args []string, stdout io.Writer) error {
 	sys, err := parseSystem(*system)
 	if err != nil {
 		return err
+	}
+	if *workload == "podtraffic" {
+		return runPodTraffic(stdout, sys, *pods, *hostsLeaf, *shards, *seed, *seeds,
+			sim.FromDuration(*warmup), sim.FromDuration(*duration))
 	}
 	kind, ws, err := parseWorkloadOrSpec(*workload)
 	if err != nil {
@@ -168,6 +175,32 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runPodTraffic drives the pod-scale cross-pod elephant experiment.
+// The -shards knob partitions the engine per pod; any shard count is
+// bit-identical to serial, so it only trades wall-clock time.
+func runPodTraffic(stdout io.Writer, sys presto.System, pods, hostsPerLeaf, shards int, seed uint64, seeds int, warmup, duration sim.Time) error {
+	if seeds > 1 {
+		return fmt.Errorf("-workload podtraffic runs a single seed; use cmd/experiments -run podtraffic -seeds %d", seeds)
+	}
+	opt := presto.Options{
+		Seed:     seed,
+		Warmup:   warmup,
+		Duration: duration,
+		Shards:   shards,
+	}
+	start := time.Now()
+	res := presto.RunPodTraffic(sys, pods, hostsPerLeaf, opt)
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "system=%v workload=podtraffic pods=%d hosts=%d shards=%d seed=%d duration=%v\n",
+		sys, res.Pods, res.Hosts, res.Shards, seed, duration.AsDuration())
+	fmt.Fprintf(stdout, "  elephant throughput: %.2f Gbps/flow (fairness %.3f)\n", res.MeanTput, res.Fairness)
+	fmt.Fprintf(stdout, "  loss rate:           %.4f%%\n", res.LossRate*100)
+	fmt.Fprintf(stdout, "  delivered packets:   %d\n", res.Delivered)
+	fmt.Fprintf(stdout, "  engine events:       %d\n", res.Events)
+	fmt.Fprintf(stdout, "  wall time:           %v\n", elapsed.Round(time.Millisecond))
 	return nil
 }
 

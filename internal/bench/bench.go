@@ -49,6 +49,7 @@ func Suite() []Spec {
 		{Name: "TelemetryEmitRing", Fn: TelemetryEmitRing, Gated: true},
 		{Name: "TelemetrySnapshotDelta", Fn: TelemetrySnapshotDelta, Gated: true},
 		{Name: "ClusterEndToEnd", Fn: ClusterEndToEnd, Gated: false},
+		{Name: "ShardedClusterEndToEnd", Fn: ShardedClusterEndToEnd, Gated: false},
 	}
 }
 
@@ -238,4 +239,40 @@ func ClusterEndToEnd(b *testing.B) {
 		})
 		b.ReportMetric(r.MeanTput, "Gbps")
 	}
+}
+
+// ShardedClusterEndToEnd runs the pod-scale cross-pod elephant
+// workload (4 pods, 2 hosts/leaf) under per-pod engine shards — the
+// full sharded stack in one number: window barriers, cross-shard
+// handoffs, per-shard RNG streams and counter buckets. The results are
+// bit-identical to the serial engine, so this tracks only the parallel
+// path's wall-clock and allocation behaviour. Ungated like
+// ClusterEndToEnd: allocs/op scale with the simulated window.
+func ShardedClusterEndToEnd(b *testing.B) {
+	warmup, duration := 2*sim.Millisecond, 8*sim.Millisecond
+	if Short {
+		warmup, duration = 500*sim.Microsecond, 2*sim.Millisecond
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := presto.RunPodTraffic(presto.SysPresto, 4, 2, presto.Options{
+			Seed:   uint64(i + 1),
+			Warmup: warmup, Duration: duration,
+			Shards: 4,
+		})
+		b.ReportMetric(r.MeanTput, "Gbps")
+	}
+}
+
+// SpeedupWindow returns the warmup and measurement windows for the
+// serial-vs-sharded speedup comparison (cmd/prestobench's
+// -speedup-floor gate), trimmed in Short mode so the CI smoke job
+// stays fast. The wall-clock measurement itself lives in
+// cmd/prestobench: the harness layer may read the wall clock, this
+// package may not (simclock analyzer).
+func SpeedupWindow() (warmup, duration sim.Time) {
+	if Short {
+		return sim.Millisecond, 5 * sim.Millisecond
+	}
+	return 2 * sim.Millisecond, 20 * sim.Millisecond
 }

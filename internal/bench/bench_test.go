@@ -18,3 +18,7 @@ func BenchmarkTelemetrySnapshotDelta(b *testing.B) {
 	TelemetrySnapshotDelta(b)
 }
 func BenchmarkClusterEndToEnd(b *testing.B) { Short = testing.Short(); ClusterEndToEnd(b) }
+func BenchmarkShardedClusterEndToEnd(b *testing.B) {
+	Short = testing.Short()
+	ShardedClusterEndToEnd(b)
+}

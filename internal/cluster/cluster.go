@@ -110,6 +110,16 @@ type Config struct {
 	// (Figure 5a).
 	RecordFlowcells bool
 
+	// Shards partitions the fabric into per-pod shards, each running
+	// its own engine on its own goroutine with conservative lookahead
+	// synchronization (the lookahead is the minimum propagation delay
+	// across inter-pod links). Results are bit-identical to the serial
+	// engine. 0 or 1 selects the serial engine; values above the
+	// topology's pod count are capped. Sharded clusters reject
+	// Telemetry, link failures, and Probers: those paths mutate or
+	// read cross-shard state mid-run.
+	Shards int
+
 	// Telemetry, when non-nil, wires the registry's tracer through every
 	// component, registers snapshot probes, and starts the fabric link
 	// monitor. Nil (the default) leaves the whole layer off.
@@ -128,11 +138,16 @@ type Host struct {
 
 // Cluster is a running testbed.
 type Cluster struct {
+	// Eng is the single engine in serial mode; nil when sharded. Use
+	// Run/RunAll/Now/StopRun to drive the cluster in either mode.
 	Eng   *sim.Engine
 	Topo  *topo.Topology
 	Net   *fabric.Network
 	Ctrl  *controller.Controller
 	Hosts []*Host
+
+	// group synchronizes the per-pod shard engines (nil when serial).
+	group *sim.ShardGroup
 
 	cfg      Config
 	rng      *sim.RNG
@@ -154,20 +169,35 @@ func New(cfg Config) *Cluster {
 	if cfg.FlowletGap == 0 {
 		cfg.FlowletGap = 500 * sim.Microsecond
 	}
-	eng := sim.NewEngine()
 	c := &Cluster{
-		Eng:      eng,
 		Topo:     cfg.Topology,
 		cfg:      cfg,
 		rng:      sim.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15),
 		nextPort: 10000,
 		taps:     make(map[packet.HostID]*tap),
 	}
-	c.Net = fabric.New(eng, cfg.Topology, cfg.Fabric)
-	c.Ctrl = controller.New(eng, c.Net, cfg.Ctrl)
+	shards := cfg.Shards
+	if shards > cfg.Topology.NumPods {
+		shards = cfg.Topology.NumPods
+	}
+	if shards > 1 {
+		if cfg.Telemetry != nil {
+			panic("cluster: Telemetry requires Shards <= 1 (tracer state is cross-shard)")
+		}
+		shardOf, lookahead := shardPartition(cfg.Topology, shards)
+		c.group = sim.NewShardGroup(shards, lookahead, cfg.Seed)
+		c.Net = fabric.NewSharded(c.group, shardOf, cfg.Topology, cfg.Fabric)
+	} else {
+		c.Eng = sim.NewEngine()
+		c.Net = fabric.New(c.Eng, cfg.Topology, cfg.Fabric)
+	}
+	// The controller only runs at install time and on link failures;
+	// both are sequential-phase paths, so any engine's clock serves.
+	c.Ctrl = controller.New(c.ctrlEngine(), c.Net, cfg.Ctrl)
 
 	for i := 0; i < cfg.Topology.NumHosts(); i++ {
 		h := packet.HostID(i)
+		eng := c.engOf(h)
 		vs := vswitch.New(eng, h, nil, c.newPolicy())
 		nicCfg := cfg.NIC
 		nicCfg.CPU.HandlerOverhead = 0
@@ -180,7 +210,7 @@ func New(cfg Config) *Cluster {
 			base.HandlerOverhead = prestoGROOverhead
 			nicCfg.CPU = base
 		}
-		n := nic.New(eng, c.Net, h, vs, c.makeGRO(kind), nicCfg)
+		n := nic.New(eng, c.Net, h, vs, c.makeGRO(kind, eng), nicCfg)
 		vs.SetSender(n)
 		c.Net.AttachHost(h, n)
 		c.Ctrl.RegisterVSwitch(vs)
@@ -189,6 +219,106 @@ func New(cfg Config) *Cluster {
 	c.Ctrl.InstallAll()
 	c.wireTelemetry()
 	return c
+}
+
+// shardPartition maps every node to a shard (pod p → shard p mod
+// count; pod-less core/spine nodes round-robin) and returns the
+// conservative lookahead: the minimum propagation delay over links
+// whose endpoints land on different shards.
+func shardPartition(t *topo.Topology, count int) ([]int32, sim.Time) {
+	shardOf := make([]int32, len(t.Nodes))
+	rr := 0
+	for id := range t.Nodes {
+		if p := t.PodOf(topo.NodeID(id)); p >= 0 {
+			shardOf[id] = int32(p % count)
+		} else {
+			shardOf[id] = int32(rr % count)
+			rr++
+		}
+	}
+	lookahead := sim.Time(0)
+	for _, l := range t.Links {
+		if shardOf[l.A] == shardOf[l.B] {
+			continue
+		}
+		if lookahead == 0 || l.Propagation < lookahead {
+			lookahead = l.Propagation
+		}
+	}
+	if lookahead <= 0 {
+		// Fully partitioned shards never exchange events; any positive
+		// lookahead keeps the group windows legal.
+		lookahead = 1
+	}
+	return shardOf, lookahead
+}
+
+// ctrlEngine picks the engine whose clock stamps controller actions.
+func (c *Cluster) ctrlEngine() *sim.Engine {
+	if c.group != nil {
+		return c.group.Shard(0)
+	}
+	return c.Eng
+}
+
+// engOf returns the engine host h's edge components run on.
+func (c *Cluster) engOf(h packet.HostID) *sim.Engine {
+	return c.Net.EngineFor(c.Topo.HostNode(h))
+}
+
+// Group returns the shard group driving a sharded cluster (nil when
+// serial).
+func (c *Cluster) Group() *sim.ShardGroup { return c.group }
+
+// Shards returns the number of engine shards (1 when serial).
+func (c *Cluster) Shards() int {
+	if c.group != nil {
+		return c.group.Shards()
+	}
+	return 1
+}
+
+// Run advances simulated time to until in either mode and returns the
+// new clock.
+func (c *Cluster) Run(until sim.Time) sim.Time {
+	if c.group != nil {
+		return c.group.Run(until)
+	}
+	return c.Eng.Run(until)
+}
+
+// RunAll drains every pending event in either mode.
+func (c *Cluster) RunAll() sim.Time {
+	if c.group != nil {
+		return c.group.RunAll()
+	}
+	return c.Eng.RunAll()
+}
+
+// Now returns the cluster's simulated clock.
+func (c *Cluster) Now() sim.Time {
+	if c.group != nil {
+		return c.group.Now()
+	}
+	return c.Eng.Now()
+}
+
+// StopRun halts the in-progress Run from any goroutine (at the next
+// window barrier when sharded).
+func (c *Cluster) StopRun() {
+	if c.group != nil {
+		c.group.Stop()
+		return
+	}
+	c.Eng.Stop()
+}
+
+// Executed returns the number of events executed across all engines.
+func (c *Cluster) Executed() uint64 {
+	if c.group != nil {
+		return c.group.Executed()
+	}
+	return c.Eng.Executed
 }
 
 // groKind resolves the effective GRO algorithm.
@@ -204,8 +334,7 @@ func (c *Cluster) groKind() GROKind {
 	}
 }
 
-func (c *Cluster) makeGRO(kind GROKind) func(out gro.Output) gro.Handler {
-	eng := c.Eng
+func (c *Cluster) makeGRO(kind GROKind, eng *sim.Engine) func(out gro.Output) gro.Handler {
 	cfg := c.cfg.GROConfig
 	return func(out gro.Output) gro.Handler {
 		switch kind {
@@ -261,13 +390,22 @@ func (c *Cluster) tcpConfig() tcp.Config {
 }
 
 // FailLink fails a link in the fabric and notifies the controller.
+// Serial clusters only: the controller's deferred label push would
+// mutate switch tables on every shard mid-run.
 func (c *Cluster) FailLink(id topo.LinkID) {
+	if c.group != nil {
+		panic("cluster: FailLink requires Shards <= 1")
+	}
 	c.Net.FailLink(id)
 	c.Ctrl.HandleLinkFailure(id)
 }
 
-// RestoreLink restores a link and notifies the controller.
+// RestoreLink restores a link and notifies the controller. Serial
+// clusters only, like FailLink.
 func (c *Cluster) RestoreLink(id topo.LinkID) {
+	if c.group != nil {
+		panic("cluster: RestoreLink requires Shards <= 1")
+	}
 	c.Net.RestoreLink(id)
 	c.Ctrl.HandleLinkRestore(id)
 }
@@ -295,7 +433,7 @@ func (c *Cluster) TapHost(h packet.HostID, fn func(at sim.Time, p *packet.Packet
 	if t, ok := c.taps[h]; ok {
 		next = t
 	}
-	t := &tap{eng: c.Eng, next: next, fn: fn}
+	t := &tap{eng: c.engOf(h), next: next, fn: fn}
 	c.taps[h] = t
 	c.Net.AttachHost(h, t)
 }

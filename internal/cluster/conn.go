@@ -40,8 +40,11 @@ type Conn struct {
 // Dial opens a connection between two hosts using the cluster's
 // scheme.
 func (c *Cluster) Dial(src, dst packet.HostID) *Conn {
-	conn := &Conn{c: c, Src: src, Dst: dst, OpenedAt: c.Eng.Now()}
+	conn := &Conn{c: c, Src: src, Dst: dst, OpenedAt: c.Now()}
 	cfg := c.tcpConfig()
+	// Each endpoint runs on the engine of the host that owns it, so a
+	// sharded cluster keeps every endpoint's timers shard-local.
+	srcEng, dstEng := c.engOf(src), c.engOf(dst)
 	// Endpoint trace events are attributed to the host whose stack runs
 	// the endpoint: the forward sender lives at src, the reverse at dst.
 	fwdCfg, revCfg := cfg, cfg
@@ -57,15 +60,15 @@ func (c *Cluster) Dial(src, dst packet.HostID) *Conn {
 				Src: packet.Addr{Host: src, Port: c.allocPort()},
 				Dst: packet.Addr{Host: dst, Port: 5001},
 			}
-			fe := tcp.New(c.Eng, f, srcVS, fwdCfg)
-			re := tcp.New(c.Eng, f.Reverse(), dstVS, revCfg)
+			fe := tcp.New(srcEng, f, srcVS, fwdCfg)
+			re := tcp.New(dstEng, f.Reverse(), dstVS, revCfg)
 			srcVS.Register(f, fe)
 			dstVS.Register(f.Reverse(), re)
 			conn.mfwd = append(conn.mfwd, fe)
 			conn.mrev = append(conn.mrev, re)
 			conn.flows = append(conn.flows, f)
 		}
-		conn.msend = mptcp.NewSender(c.Eng, conn.mfwd)
+		conn.msend = mptcp.NewSender(srcEng, conn.mfwd)
 		conn.mrecv = mptcp.NewReceiver(conn.mrev)
 		conn.mrecv.OnDelivered = func(total uint64) {
 			if conn.OnDelivered != nil {
@@ -83,8 +86,8 @@ func (c *Cluster) Dial(src, dst packet.HostID) *Conn {
 			Src: packet.Addr{Host: src, Port: c.allocPort()},
 			Dst: packet.Addr{Host: dst, Port: 5001},
 		}
-		conn.fwd = tcp.New(c.Eng, f, srcVS, fwdCfg)
-		conn.rev = tcp.New(c.Eng, f.Reverse(), dstVS, revCfg)
+		conn.fwd = tcp.New(srcEng, f, srcVS, fwdCfg)
+		conn.rev = tcp.New(dstEng, f.Reverse(), dstVS, revCfg)
 		srcVS.Register(f, conn.fwd)
 		dstVS.Register(f.Reverse(), conn.rev)
 		conn.flows = append(conn.flows, f)
@@ -223,6 +226,11 @@ type Prober struct {
 // NewProber opens a probe connection between two hosts. Call Start to
 // begin probing.
 func (c *Cluster) NewProber(src, dst packet.HostID, interval sim.Time) *Prober {
+	if c.group != nil {
+		// The prober's sample bookkeeping is written from callbacks on
+		// both hosts' engines, which may live on different shards.
+		panic("cluster: Prober requires Shards <= 1")
+	}
 	p := &Prober{c: c, Interval: interval}
 	p.Conn = c.Dial(src, dst)
 	p.Conn.SetProbe()

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"presto/internal/packet"
+	"presto/internal/telemetry"
+	"presto/internal/topo"
+)
+
+// podScenarioFingerprint builds a 4-pod 3-tier cluster, drives cross-
+// pod elephants plus intra-pod mice, and renders every observable the
+// bit-identity contract covers — clocks, event counts, per-connection
+// byte counts, aggregate fabric counters, and per-switch forwarding
+// counts — into one canonical string.
+func podScenarioFingerprint(t *testing.T, scheme Scheme, shards int) string {
+	t.Helper()
+	tt := topo.ThreeTierClos(4, 2, 2, 2, topo.LinkConfig{})
+	c := New(Config{Topology: tt, Scheme: scheme, Seed: 7, Shards: shards})
+	n := tt.NumHosts()
+	hostsPerPod := n / 4
+	var conns []*Conn
+	for i := 0; i < n; i++ {
+		// Cross-pod transfer: exercises the core tier and, when
+		// sharded, the inter-shard handoff path.
+		cross := c.Dial(packet.HostID(i), packet.HostID((i+hostsPerPod)%n))
+		cross.Write(200 << 10)
+		conns = append(conns, cross)
+	}
+	for i := 0; i+1 < n; i += 4 {
+		// Intra-pod mouse: stays inside one shard end to end.
+		m := c.Dial(packet.HostID(i), packet.HostID(i+1))
+		m.Write(10 << 10)
+		conns = append(conns, m)
+	}
+	c.RunAll()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%v executed=%d delivered=%d drops=%d down=%d hop=%d loss=%g\n",
+		c.Now(), c.Executed(), c.Net.TotalDelivered(), c.Net.TotalDrops(),
+		c.Net.TotalDropsDown(), c.Net.TotalHopDrops(), c.Net.LossRate())
+	for i, cn := range conns {
+		fmt.Fprintf(&b, "conn%d acked=%d delivered=%d\n", i, cn.Acked(), cn.Delivered())
+	}
+	for _, nd := range tt.Nodes {
+		if nd.Kind != topo.KindHost {
+			fmt.Fprintf(&b, "sw%d rx=%d\n", nd.ID, c.Net.Switch(nd.ID).RxPackets)
+		}
+	}
+	return b.String()
+}
+
+// TestShardedClusterMatchesSerial pins the tentpole invariant at the
+// full-cluster level: a sharded run must be bit-identical to the
+// serial engine — same clocks, same event counts, same per-connection
+// and per-switch outcomes — for shard counts that both divide and
+// straddle the pod count.
+func TestShardedClusterMatchesSerial(t *testing.T) {
+	for _, scheme := range []Scheme{Presto, ECMP} {
+		want := podScenarioFingerprint(t, scheme, 1)
+		for _, shards := range []int{2, 3, 4} {
+			got := podScenarioFingerprint(t, scheme, shards)
+			if got != want {
+				t.Fatalf("%v with %d shards diverged from serial:\nserial:\n%s\nsharded:\n%s",
+					scheme, shards, want, got)
+			}
+		}
+	}
+}
+
+// TestShardedClusterRejectsCrossShardFacilities pins the guard rails:
+// facilities whose state crosses shard boundaries mid-run must refuse
+// to build rather than race.
+func TestShardedClusterRejectsCrossShardFacilities(t *testing.T) {
+	tt := topo.ThreeTierClos(2, 1, 1, 1, topo.LinkConfig{})
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("telemetry", func() {
+		New(Config{Topology: tt, Shards: 2, Telemetry: telemetry.NewRegistry(nil)})
+	})
+	c := New(Config{Topology: tt, Shards: 2})
+	if c.Group() == nil || c.Shards() != 2 {
+		t.Fatalf("Shards() = %d with group %v, want 2 shards", c.Shards(), c.Group())
+	}
+	expectPanic("FailLink", func() { c.FailLink(tt.Links[0].ID) })
+	expectPanic("Prober", func() { c.NewProber(0, 1, 1000) })
+}
+
+// TestShardsCappedAtPods checks that over-asking for shards falls back
+// to the pod count instead of spinning up empty engines.
+func TestShardsCappedAtPods(t *testing.T) {
+	tt := topo.ThreeTierClos(2, 1, 1, 1, topo.LinkConfig{})
+	c := New(Config{Topology: tt, Shards: 16})
+	if c.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want capped at 2 pods", c.Shards())
+	}
+	one := New(Config{Topology: topo.SingleSwitch(4, topo.LinkConfig{}), Shards: 8})
+	if one.Group() != nil || one.Eng == nil {
+		t.Fatal("single-pod topology should fall back to the serial engine")
+	}
+}

@@ -106,11 +106,11 @@ func TestPipeQueueOverflowDrops(t *testing.T) {
 		n.SendFromHost(1, mkPkt(1, 2, 1400))
 	}
 	eng.RunAll()
-	if n.TotalDrops == 0 {
+	if n.TotalDrops() == 0 {
 		t.Fatal("expected tail drops at the shallow switch port")
 	}
-	if len(c.pkts)+int(n.TotalDrops) != 100 {
-		t.Fatalf("delivered %d + dropped %d != 100", len(c.pkts), n.TotalDrops)
+	if len(c.pkts)+int(n.TotalDrops()) != 100 {
+		t.Fatalf("delivered %d + dropped %d != 100", len(c.pkts), n.TotalDrops())
 	}
 	if n.LossRate() <= 0 {
 		t.Fatal("LossRate should be positive")
@@ -260,7 +260,7 @@ func TestHopGuardDropsLoops(t *testing.T) {
 	p.DstMAC = label
 	n.SendFromHost(0, p)
 	eng.RunAll()
-	if n.TotalHopDrops == 0 {
+	if n.TotalHopDrops() == 0 {
 		t.Fatal("loop guard did not trigger")
 	}
 }
@@ -357,7 +357,7 @@ func TestPacketConservationProperty(t *testing.T) {
 			eng.At(at, func() { n.SendFromHost(src, p) })
 		}
 		eng.RunAll()
-		total := delivered + n.TotalDrops + n.TotalDropsDown + n.TotalHopDrops
+		total := delivered + n.TotalDrops() + n.TotalDropsDown() + n.TotalHopDrops()
 		return total == injected
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {

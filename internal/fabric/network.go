@@ -67,31 +67,85 @@ type pipeKey struct {
 	from topo.NodeID
 }
 
+// shardCounters holds one shard's slice of the aggregate drop and
+// delivery counts. Each pipe and switch increments the bucket of the
+// shard its node runs on, so counting never crosses goroutines; the
+// Total* accessors sum the buckets. Padding keeps concurrently-written
+// buckets on separate cache lines.
+type shardCounters struct {
+	drops     uint64 // queue-overflow drops
+	dropsDown uint64 // failure black-hole drops
+	delivered uint64 // packets handed to host NICs
+	hopDrops  uint64 // loop-guard drops
+	_         [4]uint64
+}
+
 // Network is the running data plane for a Topology.
 type Network struct {
+	// Eng drives the whole fabric in serial mode; it is nil for a
+	// sharded network, where every node runs on its shard's engine
+	// (see EngineFor).
 	Eng  *sim.Engine
 	Topo *topo.Topology
 	cfg  Config
+
+	// Sharded mode (NewSharded): the shard group, the node→shard
+	// assignment, and one counter bucket per shard. Serial networks
+	// keep group/shardOf nil and a single bucket.
+	group    *sim.ShardGroup
+	shardOf  []int32
+	counters []shardCounters
 
 	pipes    map[pipeKey]*Pipe
 	switches map[topo.NodeID]*Switch
 	hosts    map[packet.HostID]Handler
 
-	// Aggregate counters.
-	TotalDrops     uint64 // queue-overflow drops
-	TotalDropsDown uint64 // failure black-hole drops
-	TotalDelivered uint64 // packets handed to host NICs
-	TotalHopDrops  uint64 // loop-guard drops
-
 	linkDownSince map[topo.LinkID]sim.Time
 	tracer        *telemetry.Tracer
 }
 
-// New builds the data plane for t.
+// New builds the data plane for t, driven by the single engine eng.
 func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Network {
+	n := newNetwork(t, cfg)
+	n.Eng = eng
+	n.counters = make([]shardCounters, 1)
+	n.populate()
+	return n
+}
+
+// NewSharded builds the data plane over a shard group: every node's
+// events run on the engine of its assigned shard, and packets crossing
+// a shard boundary ride ShardGroup.Send with the link's propagation
+// delay. shardOf maps every NodeID to a shard index. Bit-identity with
+// the serial engine requires every cross-shard link's propagation to
+// be at least the group's lookahead; violations panic here rather than
+// reordering events mid-run.
+func NewSharded(g *sim.ShardGroup, shardOf []int32, t *topo.Topology, cfg Config) *Network {
+	if len(shardOf) != len(t.Nodes) {
+		panic(fmt.Sprintf("fabric: shard map covers %d nodes, topology has %d", len(shardOf), len(t.Nodes)))
+	}
+	for id, s := range shardOf {
+		if int(s) < 0 || int(s) >= g.Shards() {
+			panic(fmt.Sprintf("fabric: node %d assigned to shard %d of %d", id, s, g.Shards()))
+		}
+	}
+	for _, l := range t.Links {
+		if shardOf[l.A] != shardOf[l.B] && l.Propagation < g.Lookahead() {
+			panic(fmt.Sprintf("fabric: cross-shard link %d propagation %v below lookahead %v",
+				l.ID, l.Propagation, g.Lookahead()))
+		}
+	}
+	n := newNetwork(t, cfg)
+	n.group = g
+	n.shardOf = shardOf
+	n.counters = make([]shardCounters, g.Shards())
+	n.populate()
+	return n
+}
+
+func newNetwork(t *topo.Topology, cfg Config) *Network {
 	cfg.fill()
-	n := &Network{
-		Eng:           eng,
+	return &Network{
 		Topo:          t,
 		cfg:           cfg,
 		pipes:         make(map[pipeKey]*Pipe),
@@ -99,14 +153,27 @@ func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Network {
 		hosts:         make(map[packet.HostID]Handler),
 		linkDownSince: make(map[topo.LinkID]sim.Time),
 	}
+}
+
+// populate builds the pipes and switches once the engine topology
+// (serial or sharded) is settled.
+func (n *Network) populate() {
+	t := n.Topo
 	for _, l := range t.Links {
 		for _, from := range []topo.NodeID{l.A, l.B} {
-			capBytes := cfg.SwitchQueueBytes
+			capBytes := n.cfg.SwitchQueueBytes
 			if t.Nodes[from].Kind == topo.KindHost {
-				capBytes = cfg.HostQueueBytes
+				capBytes = n.cfg.HostQueueBytes
+			}
+			dst := l.Other(from)
+			dstShard := -1
+			if n.group != nil && n.shardOf[from] != n.shardOf[dst] {
+				dstShard = int(n.shardOf[dst])
 			}
 			n.pipes[pipeKey{l.ID, from}] = &Pipe{
-				eng: eng, net: n, link: l, from: from, capBytes: capBytes,
+				eng: n.EngineFor(from), net: n, link: l, from: from,
+				dst: dst, dstShard: dstShard,
+				ctr: n.counterOf(from), capBytes: capBytes,
 			}
 		}
 	}
@@ -115,7 +182,69 @@ func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Network {
 			n.switches[node.ID] = newSwitch(n, node)
 		}
 	}
-	return n
+}
+
+// EngineFor returns the engine that node's events must run on: its
+// shard's engine in sharded mode, the serial engine otherwise.
+func (n *Network) EngineFor(node topo.NodeID) *sim.Engine {
+	if n.group == nil {
+		return n.Eng
+	}
+	return n.group.Shard(int(n.shardOf[node]))
+}
+
+// counterOf returns the counter bucket of node's shard.
+func (n *Network) counterOf(node topo.NodeID) *shardCounters {
+	if n.shardOf == nil {
+		return &n.counters[0]
+	}
+	return &n.counters[n.shardOf[node]]
+}
+
+// now returns fabric time for control-plane paths (link failures,
+// telemetry snapshots) that execute between runs.
+func (n *Network) now() sim.Time {
+	if n.group != nil {
+		return n.group.Now()
+	}
+	return n.Eng.Now()
+}
+
+// TotalDrops returns queue-overflow drops summed across shards.
+func (n *Network) TotalDrops() uint64 {
+	var s uint64
+	for i := range n.counters {
+		s += n.counters[i].drops
+	}
+	return s
+}
+
+// TotalDropsDown returns failure black-hole drops summed across shards.
+func (n *Network) TotalDropsDown() uint64 {
+	var s uint64
+	for i := range n.counters {
+		s += n.counters[i].dropsDown
+	}
+	return s
+}
+
+// TotalDelivered returns packets handed to host NICs, summed across
+// shards.
+func (n *Network) TotalDelivered() uint64 {
+	var s uint64
+	for i := range n.counters {
+		s += n.counters[i].delivered
+	}
+	return s
+}
+
+// TotalHopDrops returns loop-guard drops summed across shards.
+func (n *Network) TotalHopDrops() uint64 {
+	var s uint64
+	for i := range n.counters {
+		s += n.counters[i].hopDrops
+	}
+	return s
 }
 
 // AttachHost registers the packet handler (NIC) for host h.
@@ -143,10 +272,12 @@ func (n *Network) SendFromHost(h packet.HostID, p *packet.Packet) {
 }
 
 // deliver hands a packet that finished propagating to its next node.
+// In sharded mode it always runs on the engine of node's shard (the
+// pipe either scheduled it locally or routed it through the group).
 func (n *Network) deliver(node topo.NodeID, p *packet.Packet) {
 	nd := n.Topo.Nodes[node]
 	if nd.Kind == topo.KindHost {
-		n.TotalDelivered++
+		n.counterOf(node).delivered++
 		if h := n.hosts[nd.Host]; h != nil {
 			h.HandlePacket(p)
 		}
@@ -156,25 +287,30 @@ func (n *Network) deliver(node topo.NodeID, p *packet.Packet) {
 }
 
 // FailLink takes both directions of link id down. Switch fast-failover
-// rules activate after the configured latency.
+// rules activate after the configured latency. On a sharded network
+// link state may only change between Run calls: linkDownSince is read
+// by every shard without synchronization during windows.
 func (n *Network) FailLink(id topo.LinkID) {
+	n.checkQuiescent("FailLink")
 	if _, dead := n.linkDownSince[id]; dead {
 		return
 	}
-	n.linkDownSince[id] = n.Eng.Now()
-	n.tracer.LinkDown(n.Eng.Now(), int32(id))
+	n.linkDownSince[id] = n.now()
+	n.tracer.LinkDown(n.now(), int32(id))
 	l := n.Topo.Links[id]
 	n.pipes[pipeKey{id, l.A}].fail()
 	n.pipes[pipeKey{id, l.B}].fail()
 }
 
-// RestoreLink brings link id back up.
+// RestoreLink brings link id back up. Like FailLink it is only legal
+// between Run calls on a sharded network.
 func (n *Network) RestoreLink(id topo.LinkID) {
+	n.checkQuiescent("RestoreLink")
 	if _, dead := n.linkDownSince[id]; !dead {
 		return
 	}
 	delete(n.linkDownSince, id)
-	n.tracer.LinkUp(n.Eng.Now(), int32(id))
+	n.tracer.LinkUp(n.now(), int32(id))
 	l := n.Topo.Links[id]
 	n.pipes[pipeKey{id, l.A}].restore()
 	n.pipes[pipeKey{id, l.B}].restore()
@@ -186,15 +322,24 @@ func (n *Network) LinkUp(id topo.LinkID) bool {
 	return !dead
 }
 
+// checkQuiescent panics if a sharded run is in progress: callers
+// mutate state every shard reads without synchronization.
+func (n *Network) checkQuiescent(op string) {
+	if n.group != nil && n.group.Running() {
+		panic("fabric: " + op + " during a sharded run; change link state between Run calls")
+	}
+}
+
 // failoverActive reports whether the fast-failover rule covering link
 // id has kicked in (the link has been down for at least the failover
-// latency).
-func (n *Network) failoverActive(id topo.LinkID) bool {
+// latency) as of the caller's clock. Switches pass their own engine's
+// now so the check is shard-local.
+func (n *Network) failoverActive(id topo.LinkID, now sim.Time) bool {
 	since, dead := n.linkDownSince[id]
 	if !dead || n.cfg.DisableFailover {
 		return false
 	}
-	return n.Eng.Now() >= since+n.cfg.FailoverLatency
+	return now >= since+n.cfg.FailoverLatency
 }
 
 // DownLinks returns the currently failed links, sorted by link ID so
@@ -231,7 +376,7 @@ func (n *Network) LossRate() float64 {
 // utilization over the run so far, and the queue-depth watermark.
 func (n *Network) TelemetrySnapshot() map[string]any {
 	links := make(map[string]any, len(n.pipes))
-	elapsed := n.Eng.Now()
+	elapsed := n.now()
 	for k, p := range n.pipes {
 		util := 0.0
 		if elapsed > 0 {
@@ -247,10 +392,10 @@ func (n *Network) TelemetrySnapshot() map[string]any {
 		}
 	}
 	return map[string]any{
-		"delivered":  n.TotalDelivered,
-		"drops":      n.TotalDrops,
-		"drops_down": n.TotalDropsDown,
-		"hop_drops":  n.TotalHopDrops,
+		"delivered":  n.TotalDelivered(),
+		"drops":      n.TotalDrops(),
+		"drops_down": n.TotalDropsDown(),
+		"hop_drops":  n.TotalHopDrops(),
 		"loss_rate":  n.LossRate(),
 		"links":      links,
 	}
@@ -259,5 +404,5 @@ func (n *Network) TelemetrySnapshot() map[string]any {
 // String summarizes counters for debugging.
 func (n *Network) String() string {
 	return fmt.Sprintf("fabric{delivered=%d drops=%d down=%d hop=%d}",
-		n.TotalDelivered, n.TotalDrops, n.TotalDropsDown, n.TotalHopDrops)
+		n.TotalDelivered(), n.TotalDrops(), n.TotalDropsDown(), n.TotalHopDrops())
 }

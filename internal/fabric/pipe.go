@@ -16,10 +16,16 @@ import (
 // overflow the queue are dropped (tail drop), as in the paper's
 // shallow-buffered 10 GbE switches.
 type Pipe struct {
-	eng  *sim.Engine
+	eng  *sim.Engine // engine of the transmitting end's shard
 	net  *Network
 	link topo.Link
 	from topo.NodeID // transmitting end
+	dst  topo.NodeID // receiving end
+	// dstShard is the receiving end's shard when it differs from the
+	// transmitting end's (-1 when both ends share an engine): delivery
+	// then crosses via ShardGroup.Send instead of a local schedule.
+	dstShard int
+	ctr      *shardCounters // aggregate bucket of the transmitting shard
 
 	capBytes   int
 	queuedWire int // wire bytes currently queued (excluding in-flight)
@@ -51,14 +57,14 @@ func (p *Pipe) Enqueue(pkt *packet.Packet) {
 	p.EnqPackets++
 	if p.down {
 		p.DropsDown++
-		p.net.TotalDropsDown++
+		p.ctr.dropsDown++
 		p.net.tracer.QueueDrop(p.eng.Now(), int32(p.link.ID), p.queuedWire, "link-down")
 		return
 	}
 	w := pkt.WireSize()
 	if p.queuedWire+w > p.capBytes {
 		p.Drops++
-		p.net.TotalDrops++
+		p.ctr.drops++
 		p.net.tracer.QueueDrop(p.eng.Now(), int32(p.link.ID), p.queuedWire, "tail-drop")
 		return
 	}
@@ -93,12 +99,18 @@ func (p *Pipe) transmitNext() {
 		p.LastActive = p.eng.Now()
 		if !p.down {
 			// Propagation: the packet arrives at the far end later; the
-			// queue meanwhile keeps draining.
-			dst := p.link.Other(p.from)
-			p.eng.Schedule(p.link.Propagation, func() { p.net.deliver(dst, pkt) })
+			// queue meanwhile keeps draining. A shard boundary rides the
+			// group's handoff path (propagation >= lookahead is checked
+			// at construction, so the send is always window-legal).
+			dst := p.dst
+			if p.dstShard < 0 {
+				p.eng.Schedule(p.link.Propagation, func() { p.net.deliver(dst, pkt) })
+			} else {
+				p.net.group.Send(p.eng, p.dstShard, p.link.Propagation, func() { p.net.deliver(dst, pkt) })
+			}
 		} else {
 			p.DropsDown++
-			p.net.TotalDropsDown++
+			p.ctr.dropsDown++
 		}
 		p.transmitNext()
 	})
@@ -108,7 +120,7 @@ func (p *Pipe) transmitNext() {
 func (p *Pipe) fail() {
 	p.down = true
 	p.DropsDown += uint64(len(p.queue))
-	p.net.TotalDropsDown += uint64(len(p.queue))
+	p.ctr.dropsDown += uint64(len(p.queue))
 	p.queue = nil
 	p.queuedWire = 0
 }

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"presto/internal/packet"
+	"presto/internal/sim"
 	"presto/internal/topo"
 )
 
@@ -16,6 +17,8 @@ const maxHops = 16
 type Switch struct {
 	net  *Network
 	node topo.Node
+	eng  *sim.Engine    // engine of this switch's shard
+	ctr  *shardCounters // aggregate bucket of this switch's shard
 
 	// labelTable maps shadow-MAC labels to egress links, installed by
 	// the controller (§3.1: "installs the relevant forwarding rules").
@@ -35,6 +38,8 @@ func newSwitch(n *Network, node topo.Node) *Switch {
 	return &Switch{
 		net:        n,
 		node:       node,
+		eng:        n.EngineFor(node.ID),
+		ctr:        n.counterOf(node.ID),
 		labelTable: make(map[packet.MAC]topo.LinkID),
 	}
 }
@@ -58,7 +63,7 @@ func (s *Switch) forward(p *packet.Packet) {
 	s.RxPackets++
 	p.Hops++
 	if p.Hops > maxHops {
-		s.net.TotalHopDrops++
+		s.ctr.hopDrops++
 		return
 	}
 	if p.DstMAC.IsLabel() {
@@ -95,9 +100,9 @@ func (s *Switch) forwardLabel(p *packet.Packet) {
 			s.enqueue(egress, p)
 			return
 		}
-		if s.net.failoverActive(egress) && s.rewriteToBackupTree(p) {
+		if s.net.failoverActive(egress, s.eng.Now()) && s.rewriteToBackupTree(p) {
 			s.FailoverRewrites++
-			s.net.tracer.FailoverSwitch(s.net.Eng.Now(), int32(s.node.ID), int32(egress), p.DstMAC.ShadowTree())
+			s.net.tracer.FailoverSwitch(s.eng.Now(), int32(s.node.ID), int32(egress), p.DstMAC.ShadowTree())
 			s.forward(p)
 			return
 		}
@@ -135,7 +140,7 @@ func (s *Switch) forwardLabel(p *packet.Packet) {
 			return
 		}
 	}
-	s.net.TotalHopDrops++
+	s.ctr.hopDrops++
 }
 
 // rewriteToBackupTree rewrites the packet's label to the next tree
@@ -182,9 +187,9 @@ func (s *Switch) forwardRealMAC(p *packet.Packet) {
 	// Equal-cost next hops toward the destination's attachment point
 	// (leaf for servers, spine for remote users), topology-agnostic.
 	candidates := t.NextLinksTo(s.node.ID, attach)
-	lid, ok := pickECMP(s.net, candidates, p)
+	lid, ok := pickECMP(s.net, candidates, p, s.eng.Now())
 	if !ok {
-		s.net.TotalHopDrops++
+		s.ctr.hopDrops++
 		return
 	}
 	s.enqueue(lid, p)
@@ -194,13 +199,13 @@ func (s *Switch) forwardRealMAC(p *packet.Packet) {
 // whose failover rule has activated are excluded from the group
 // (hardware ECMP prunes dead members after detection); before
 // activation, dead links still attract (and black-hole) traffic.
-func pickECMP(n *Network, candidates []topo.LinkID, p *packet.Packet) (topo.LinkID, bool) {
+func pickECMP(n *Network, candidates []topo.LinkID, p *packet.Packet, now sim.Time) (topo.LinkID, bool) {
 	if len(candidates) == 0 {
 		return 0, false
 	}
 	live := candidates[:0:0]
 	for _, c := range candidates {
-		if n.LinkUp(c) || !n.failoverActive(c) {
+		if n.LinkUp(c) || !n.failoverActive(c, now) {
 			live = append(live, c)
 		}
 	}

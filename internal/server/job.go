@@ -141,6 +141,16 @@ type job struct {
 	finished  time.Time
 	artifacts []string
 	cancel    context.CancelCauseFunc // set while running
+
+	// Artifact-fetch coordination (also guarded by mu): fetchers counts
+	// in-flight GETs of this job's artifact files; gone is set by the
+	// janitor once the TTL expires, after which new fetches are refused
+	// (410) and the directory is removed only when fetchers drains to
+	// zero — so a slow reader mid-download never has the file deleted
+	// out from under it.
+	fetchers  int
+	gone      bool
+	fetchIdle chan struct{} // non-nil while gone with fetches in flight
 }
 
 // newJob wires a validated spec into a job record: the spec's progress
@@ -299,6 +309,49 @@ func (j *job) stateNow() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// acquireArtifacts registers an in-flight artifact fetch, pinning the
+// job's directory against janitor removal until the matching
+// releaseArtifacts. It returns false once the janitor has retired the
+// job — the handler answers 410 Gone instead of racing the delete.
+func (j *job) acquireArtifacts() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.gone {
+		return false
+	}
+	j.fetchers++
+	return true
+}
+
+// releaseArtifacts ends an in-flight fetch; the last one out of a
+// retired job signals the janitor's removal goroutine.
+func (j *job) releaseArtifacts() {
+	j.mu.Lock()
+	j.fetchers--
+	if j.fetchers == 0 && j.gone && j.fetchIdle != nil {
+		close(j.fetchIdle)
+		j.fetchIdle = nil
+	}
+	j.mu.Unlock()
+}
+
+// retire marks the job's artifacts gone (new fetches are refused from
+// this point on). It returns nil when no fetch is in flight — the
+// caller may remove the directory immediately — or a channel that is
+// closed once the last in-flight fetch completes.
+func (j *job) retire() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.gone = true
+	if j.fetchers == 0 {
+		return nil
+	}
+	if j.fetchIdle == nil {
+		j.fetchIdle = make(chan struct{})
+	}
+	return j.fetchIdle
 }
 
 // expired reports whether the job's artifacts have outlived ttl.

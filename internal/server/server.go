@@ -105,9 +105,10 @@ type Server struct {
 	draining bool
 	busy     int // workers currently executing a job
 
-	workers sync.WaitGroup
-	gcStop  chan struct{}
-	gcDone  chan struct{}
+	workers  sync.WaitGroup
+	removals sync.WaitGroup // deferred artifact removals awaiting in-flight fetches
+	gcStop   chan struct{}
+	gcDone   chan struct{}
 }
 
 // New builds a Server and starts its worker pool (and artifact
@@ -428,6 +429,15 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job %s is %s; artifacts exist only for done jobs", j.id, st)
 		return
 	}
+	// Pin the artifact directory for the whole response: the janitor
+	// defers removal until the last in-flight fetch releases, so a slow
+	// reader streams the complete file. Once the job is retired the
+	// fetch is refused with 410 rather than racing the delete.
+	if !j.acquireArtifacts() {
+		writeError(w, http.StatusGone, "job %s: artifacts expired and were removed", j.id)
+		return
+	}
+	defer j.releaseArtifacts()
 	f, err := os.Open(filepath.Join(j.dir, name))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "artifact %s: %v", name, err)
@@ -557,6 +567,9 @@ func (s *Server) Close() error {
 	if !stopped {
 		<-s.gcDone
 	}
+	// Deferred removals are bounded by their readers' connections, which
+	// the HTTP server tears down before Close is reached in practice.
+	s.removals.Wait()
 	return err
 }
 
@@ -603,6 +616,20 @@ func (s *Server) gc(now time.Time) int {
 	s.order = keep
 	s.mu.Unlock()
 	for _, j := range expired {
+		// retire refuses new fetches; removal waits for in-flight ones.
+		// The common no-readers case removes synchronously so the TTL is
+		// honored promptly; with a fetch mid-stream, a goroutine removes
+		// the directory the moment the last reader finishes.
+		if idle := j.retire(); idle != nil {
+			s.removals.Add(1)
+			go func(j *job, idle <-chan struct{}) {
+				defer s.removals.Done()
+				<-idle
+				_ = os.RemoveAll(j.dir)
+				s.cfg.Logf("job %s: expired; artifacts removed after in-flight fetch drained", j.id)
+			}(j, idle)
+			continue
+		}
 		_ = os.RemoveAll(j.dir)
 		s.cfg.Logf("job %s: expired; artifacts removed", j.id)
 	}

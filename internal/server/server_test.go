@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -522,6 +524,89 @@ func TestArtifactGC(t *testing.T) {
 	}
 	if _, err := c.Job(ctx(t), st.ID); err == nil {
 		t.Error("expired job still resolvable")
+	}
+}
+
+// TestSlowArtifactReaderSurvivesGC pins the janitor/fetch race: a GET
+// mid-download holds the job's fetch refcount, so when the TTL fires
+// the janitor retires the job (refusing new fetches) but defers the
+// directory removal until the reader has streamed the complete file.
+func TestSlowArtifactReaderSurvivesGC(t *testing.T) {
+	s, c := newTestServer(t, Config{SpecBuilder: synthSpec, ArtifactTTL: time.Hour})
+	st, err := c.Submit(ctx(t), JobRequest{Experiments: "synth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx(t), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	j := s.jobs[st.ID]
+
+	// Inflate report.csv past the loopback socket buffers so the
+	// handler is genuinely mid-io.Copy while the janitor fires below.
+	path := filepath.Join(j.dir, "report.csv")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := bytes.Repeat([]byte("x"), 1<<20)
+	for i := 0; i < 16; i++ {
+		if _, err := f.Write(pad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/v1/jobs/" + st.ID + "/artifacts/report.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact GET status %d, want 200", resp.StatusCode)
+	}
+	head := make([]byte, 1024)
+	if _, err := io.ReadFull(resp.Body, head); err != nil {
+		t.Fatal(err)
+	}
+
+	// TTL elapses with the reader stalled after 1 KB: the job record
+	// must be collected, but the directory must survive the sweep.
+	if n := s.gc(time.Now().Add(2 * time.Hour)); n != 1 {
+		t.Fatalf("gc removed %d jobs, want 1", n)
+	}
+	if j.acquireArtifacts() {
+		t.Fatal("acquireArtifacts succeeded on a retired job; want 410 path")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("artifact removed with a reader mid-stream: %v", err)
+	}
+
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading artifact tail after gc: %v", err)
+	}
+	got := append(head, rest...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("slow reader got %d bytes, want %d (content mismatch)", len(got), len(want))
+	}
+
+	// The last reader is out: the deferred removal must now land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(j.dir); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("artifact dir survived after the in-flight fetch drained")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

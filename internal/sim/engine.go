@@ -28,7 +28,10 @@
 //   - fn is cleared on release so the arena never pins dead closures.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Time is a simulated timestamp in nanoseconds since the start of the run.
 type Time int64
@@ -87,13 +90,20 @@ type EventID struct {
 // Engine is a discrete-event simulator. The zero value is not usable;
 // create one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	arena   []eventSlot
-	free    int32   // head of the free-slot list, -1 when empty
-	heap    []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
+	now   Time
+	seq   uint64
+	arena []eventSlot
+	free  int32   // head of the free-slot list, -1 when empty
+	heap  []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
+	// sh is non-nil when the engine is one shard of a ShardGroup; it
+	// redirects sequence-number draws to the group so the global
+	// schedule order stays bit-identical to a serial run. See shard.go.
+	sh      *shard
 	running bool
-	stopped bool
+	// stopped is written by Stop — which may run on another goroutine
+	// (prestod job cancel, a Stop-watching test) — and read by the run
+	// loop, so it must be atomic.
+	stopped atomic.Bool
 
 	// Executed counts events that have run, as a cheap progress/liveness
 	// measure for tests and benchmarks.
@@ -160,15 +170,25 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
+	var sq uint64
+	if e.sh == nil {
+		e.seq++
+		sq = e.seq
+	} else {
+		sq = e.sh.nextSeq()
+	}
 	i := e.alloc()
 	s := &e.arena[i]
-	s.at, s.seq, s.fn = t, e.seq, fn
+	s.at, s.seq, s.fn = t, sq, fn
 	e.heapPush(i)
 	if len(e.heap) > e.PeakPending {
 		e.PeakPending = len(e.heap)
 	}
-	return EventID{slot: i, gen: s.gen}
+	id := EventID{slot: i, gen: s.gen}
+	if e.sh != nil {
+		e.sh.noteLocal(t, id)
+	}
+	return id
 }
 
 // Cancel prevents a scheduled event from firing. Canceling an event that
@@ -205,10 +225,13 @@ func (e *Engine) Pending() int { return len(e.heap) }
 
 // Stop makes the in-progress Run/RunAll return after the currently
 // executing event completes. Safe to call from inside an event
-// callback. Calling Stop while no run is in progress makes the next
-// Run/RunAll return immediately (executing nothing); the pending stop
-// is consumed by that run.
-func (e *Engine) Stop() { e.stopped = true }
+// callback, and — because the flag is atomic — from another goroutine
+// (prestod's job-cancel path stops an engine mid-run). Calling Stop
+// while no run is in progress makes the next Run/RunAll return
+// immediately (executing nothing); the pending stop is consumed by
+// that run. On a shard-owned engine the stop takes effect at the next
+// window barrier (see ShardGroup).
+func (e *Engine) Stop() { e.stopped.Store(true) }
 
 // Run executes events in timestamp order until the queue drains, Stop is
 // called, or the clock would pass until. Events scheduled exactly at
@@ -242,13 +265,16 @@ func (e *Engine) run(until Time) (stopped bool) {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
+	if e.sh != nil && !e.sh.solo {
+		panic("sim: Run on a shard-owned engine; drive it through ShardGroup.Run")
+	}
 	e.running = true
 	// The stop flag is consumed on exit, whether it was raised mid-run
 	// or before the run started (a pre-run Stop makes this run a no-op).
 	//prestolint:allow hotalloc -- receiver-only capture in an open-coded defer; the compiler keeps it off the heap (bench-gated 0 allocs/op)
-	defer func() { e.running = false; e.stopped = false }()
+	defer func() { e.running = false; e.stopped.Store(false) }()
 
-	for len(e.heap) > 0 && !e.stopped {
+	for len(e.heap) > 0 && !e.stopped.Load() {
 		top := e.heap[0]
 		s := &e.arena[top]
 		if s.at > until {
@@ -263,7 +289,78 @@ func (e *Engine) run(until Time) (stopped bool) {
 		e.Executed++
 		fn()
 	}
-	return e.stopped
+	return e.stopped.Load()
+}
+
+// runWindow executes queued events with at strictly below limit. It is
+// the per-shard inner loop of a ShardGroup window: the coordinator has
+// already proven (via the lookahead bound) that no other shard can
+// inject an event below limit, so everything under it is safe to fire.
+// Unlike run, it never consumes the stop flag — a Stop raised by a
+// callback is observed by the coordinator at the window barrier, so
+// the whole group stops on a window boundary and the executed-event
+// prefix stays identical to a serial run.
+func (e *Engine) runWindow(limit Time) {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		s := &e.arena[top]
+		if s.at >= limit {
+			break
+		}
+		fn := s.fn
+		at, sq := s.at, s.seq
+		e.now = s.at
+		e.heapPopMin()
+		e.release(top)
+		e.Executed++
+		k0 := e.sh.k
+		fn()
+		if e.sh.k > k0 {
+			// Journal only events that scheduled something: the barrier
+			// merge replays schedule calls, not executions.
+			e.sh.execLog = append(e.sh.execLog, execRec{at: at, seq: sq, nCalls: e.sh.k - k0})
+		}
+	}
+}
+
+// peekAt returns the timestamp of the earliest queued event.
+func (e *Engine) peekAt() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.arena[e.heap[0]].at, true
+}
+
+// rekey rewrites a queued event's sequence number from its provisional
+// window-local value to the true global one resolved at the barrier.
+// Rekeying never reorders the heap: within one window a shard's
+// provisional order equals its true relative order, and every true seq
+// assigned at the barrier exceeds every seq issued before the window —
+// so all comparator outcomes are preserved and the field can be
+// overwritten in place. A dead ID (fired or canceled inside the
+// window) is a no-op, exactly like Cancel.
+func (e *Engine) rekey(id EventID, seq uint64) {
+	if id.slot < 0 || int(id.slot) >= len(e.arena) {
+		return
+	}
+	s := &e.arena[id.slot]
+	if s.gen != id.gen {
+		return
+	}
+	s.seq = seq
+}
+
+// insertKeyed enqueues an event with an explicit (at, seq) key — the
+// barrier's path for landing a cross-shard handoff with the global
+// sequence number it was assigned in the merge.
+func (e *Engine) insertKeyed(at Time, seq uint64, fn func()) {
+	i := e.alloc()
+	s := &e.arena[i]
+	s.at, s.seq, s.fn = at, seq, fn
+	e.heapPush(i)
+	if len(e.heap) > e.PeakPending {
+		e.PeakPending = len(e.heap)
+	}
 }
 
 // ---- intrusive 4-ary min-heap over arena indices ----

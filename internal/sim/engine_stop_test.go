@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEngineStopFromAnotherGoroutine is the -race regression for the
+// Stop flag: prestod's job-cancel path calls Engine.Stop from a
+// goroutine other than the one inside Run, which was a data race while
+// stopped was a plain bool. The engine runs a self-rescheduling chain
+// that only ends when the watcher goroutine stops it.
+func TestEngineStopFromAnotherGoroutine(t *testing.T) {
+	e := NewEngine()
+	progress := make(chan struct{})
+	n := 0
+	var spin func()
+	spin = func() {
+		n++
+		if n == 1000 {
+			close(progress)
+		}
+		e.Schedule(1, spin)
+	}
+	e.Schedule(0, spin)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-progress
+		e.Stop()
+	}()
+	e.RunAll()
+	wg.Wait()
+
+	if e.Executed < 1000 {
+		t.Fatalf("executed %d events, want >= 1000 before the cross-goroutine stop", e.Executed)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("the self-rescheduling chain should still be pending after Stop")
+	}
+	// The stop was consumed: a fresh run makes progress again.
+	before := e.Executed
+	e.Run(e.Now() + 10)
+	if e.Executed <= before {
+		t.Fatal("engine did not resume after a consumed cross-goroutine Stop")
+	}
+}

@@ -1,0 +1,475 @@
+// Shard coordinator: conservative parallel discrete-event simulation
+// over a set of Engines, bit-identical to one serial Engine.
+//
+// A ShardGroup partitions a simulation into n shards, each owning its
+// own Engine (arena, heap, clock) and running on its own goroutine
+// during a window. Synchronization is classic conservative lookahead
+// (null-message/time-window advancement): with T the earliest pending
+// event across all shards and L the minimum cross-shard latency, every
+// shard may safely execute all events with timestamp < T + L before
+// re-synchronizing, because a cross-shard handoff sent at or after T
+// cannot arrive before T + L. Handoffs made during a window are staged
+// and enqueued into the destination shard's heap at the barrier.
+//
+// Bit-identity with the serial engine is the hard invariant: the same
+// events fire in the same global (at, seq) order with the same seq
+// values, so every downstream tie-break, RNG draw, and counter matches
+// a serial run exactly. The serial seq is a single monotone counter
+// incremented per schedule call — a global quantity a shard cannot
+// know mid-window (it depends on how calls from all shards interleave
+// in serial execution order). The group reconstructs it exactly:
+//
+//   - Sequential phases (setup, between Run calls): every shard engine
+//     draws seqs directly from the group's shared counter, so setup
+//     scheduling is trivially identical to serial.
+//   - During a window, shard s hands out provisional seqs base + k
+//     (base = group counter frozen at the window start, k = the
+//     shard's schedule-call count this window) and journals every
+//     schedule call. Provisional seqs exceed all true seqs issued so
+//     far, and within one shard their relative order equals the true
+//     relative order, so the shard's own heap stays correctly ordered
+//     mid-window. Cross-shard interleave cannot perturb a shard's
+//     in-window ordering: an event executing in this window was either
+//     enqueued before the window or scheduled by a same-shard parent
+//     (handoffs always land in a later window).
+//   - At the barrier the coordinator k-way merges the shards' journals
+//     in global execution order — (at, true seq) of the *scheduling*
+//     event — and replays the schedule calls against the real counter,
+//     assigning each call the seq a serial engine would have issued.
+//     Queued events are rekeyed in place (provisional → true; proven
+//     order-preserving, see Engine.rekey), and staged handoffs are
+//     inserted into their destination heaps under their true seqs.
+//
+// Resolving a provisional journal key at the barrier is always
+// possible: the scheduling parent belongs to the same shard and
+// executed earlier in the same window, so its journal entry — and the
+// true seq assigned while consuming it — precedes the child's entry in
+// that shard's stream.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// execRec journals one executed event that made at least one schedule
+// call: its own key at execution time (seq may be provisional) and how
+// many calls it made.
+type execRec struct {
+	at     Time
+	seq    uint64
+	nCalls uint64
+}
+
+// callRec journals one schedule call. dst < 0 is a local schedule
+// (rekeyed at the barrier via id); dst >= 0 is a cross-shard handoff
+// carrying the callback until the barrier stages it.
+type callRec struct {
+	at  Time
+	id  EventID
+	dst int32
+	fn  func()
+}
+
+// handoff is a merged cross-shard event waiting to be inserted into
+// its destination heap with its true global seq.
+type handoff struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// shard is the per-engine view of a ShardGroup.
+type shard struct {
+	g    *ShardGroup
+	idx  int
+	eng  *Engine
+	rng  *RNG
+	solo bool // single-shard group: serial fast path, no journaling
+
+	// Window state. Owned by the shard's worker goroutine during a
+	// window and by the coordinator between windows; the start channel
+	// and window WaitGroup order the handoff.
+	inWindow bool
+	k        uint64    // schedule calls made this window
+	execLog  []execRec // executed events that scheduled something
+	callLog  []callRec // every schedule call, in k order
+	panicked any       // callback panic captured for the coordinator
+
+	// Barrier state (coordinator only).
+	execPos int
+	callPos int
+	trueOf  []uint64  // trueOf[j] = true seq of provisional base+j+1
+	staged  []handoff // merged handoffs destined for this shard
+	start   chan Time // window dispatch; nil until a windowed Run
+}
+
+// nextSeq issues the next sequence number for a schedule call on this
+// shard: provisional during a window, drawn from the group's shared
+// counter otherwise.
+func (sh *shard) nextSeq() uint64 {
+	if sh.inWindow {
+		sh.k++
+		return sh.g.counter + sh.k
+	}
+	sh.g.counter++
+	return sh.g.counter
+}
+
+// noteLocal journals an in-window local schedule so the barrier can
+// rekey it to its true seq.
+func (sh *shard) noteLocal(at Time, id EventID) {
+	if !sh.inWindow {
+		return
+	}
+	sh.callLog = append(sh.callLog, callRec{at: at, id: id, dst: -1})
+}
+
+// runOne executes one window on the shard, capturing a callback panic
+// so the coordinator can re-raise it after the barrier instead of
+// killing the process from a worker goroutine.
+func (sh *shard) runOne(limit Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicked = r
+		}
+	}()
+	sh.eng.runWindow(limit)
+}
+
+// ShardGroup coordinates n shard Engines so that their union behaves
+// bit-identically to a single serial Engine. Construct with
+// NewShardGroup, wire components to the per-shard engines (Shard), use
+// Send for cross-shard scheduling, and drive the whole group with
+// Run/RunAll. The group is not reentrant and, like Engine, not safe
+// for concurrent use — except Stop, which may be called from any
+// goroutine.
+type ShardGroup struct {
+	shards    []*shard
+	lookahead Time
+	counter   uint64 // true global schedule-order counter
+	now       Time
+	running   bool
+	stop      atomic.Bool
+}
+
+// NewShardGroup returns a group of n engines synchronized with the
+// given conservative lookahead: every cross-shard Send must have delay
+// >= lookahead. Per-shard RNG streams are derived deterministically
+// from seed and the shard index. n == 1 is the serial fast path — no
+// windows, no journaling — so a -shards 1 run is an ordinary serial
+// run behind the group API.
+func NewShardGroup(n int, lookahead Time, seed uint64) *ShardGroup {
+	if n < 1 {
+		panic("sim: NewShardGroup with n < 1")
+	}
+	if lookahead <= 0 && n > 1 {
+		panic("sim: NewShardGroup with non-positive lookahead")
+	}
+	g := &ShardGroup{shards: make([]*shard, n), lookahead: lookahead}
+	root := NewRNG(seed)
+	for i := range g.shards {
+		sh := &shard{g: g, idx: i, eng: NewEngine(), rng: root.Fork(), solo: n == 1}
+		sh.eng.sh = sh
+		g.shards[i] = sh
+	}
+	return g
+}
+
+// Shards returns the number of shards in the group.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Lookahead returns the group's conservative lookahead.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Shard returns shard i's engine. Components living on shard i must
+// schedule only on this engine (or cross-shard via Send).
+func (g *ShardGroup) Shard(i int) *Engine { return g.shards[i].eng }
+
+// RNG returns shard i's private random stream.
+func (g *ShardGroup) RNG(i int) *RNG { return g.shards[i].rng }
+
+// Now returns the group's current simulated time.
+func (g *ShardGroup) Now() Time { return g.now }
+
+// Running reports whether a windowed run is in progress. Control-plane
+// callers use it to reject mid-run mutation of state that shards read
+// without synchronization (e.g. fabric link status).
+func (g *ShardGroup) Running() bool { return g.running }
+
+// Executed returns the total number of events executed across shards.
+func (g *ShardGroup) Executed() uint64 {
+	var n uint64
+	for _, sh := range g.shards {
+		n += sh.eng.Executed
+	}
+	return n
+}
+
+// Pending returns the total number of queued events across shards.
+func (g *ShardGroup) Pending() int {
+	n := 0
+	for _, sh := range g.shards {
+		n += sh.eng.Pending()
+	}
+	return n
+}
+
+// Stop makes the in-progress Run/RunAll return at the next window
+// barrier (so the executed prefix is a clean serial prefix), or the
+// next Run a no-op if none is in progress. Safe from any goroutine.
+func (g *ShardGroup) Stop() {
+	if len(g.shards) == 1 {
+		g.shards[0].eng.Stop()
+		return
+	}
+	g.stop.Store(true)
+}
+
+// Send schedules fn on shard dst after delay, from code running on
+// src. Same-shard sends are plain schedules. Cross-shard sends during
+// a window must respect the lookahead (delay >= Lookahead) — that
+// bound is what makes the window safe to run in parallel.
+func (g *ShardGroup) Send(src *Engine, dst int, delay Time, fn func()) {
+	sh := src.sh
+	if sh == nil || sh.g != g {
+		panic("sim: Send from an engine outside this group")
+	}
+	if dst < 0 || dst >= len(g.shards) {
+		panic(fmt.Sprintf("sim: Send to invalid shard %d of %d", dst, len(g.shards)))
+	}
+	if fn == nil {
+		panic("sim: Send with nil fn")
+	}
+	if dst == sh.idx {
+		src.Schedule(delay, fn)
+		return
+	}
+	if !sh.inWindow {
+		// Sequential phase: clocks are aligned, and nextSeq on the
+		// destination draws from the shared counter — identical to a
+		// serial Schedule.
+		g.shards[dst].eng.At(src.now+delay, fn)
+		return
+	}
+	if delay < g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard Send with delay %v below lookahead %v", delay, g.lookahead))
+	}
+	// Consume a provisional seq (a serial engine's Schedule would have
+	// consumed one here) and journal the handoff; the barrier assigns
+	// the true seq and inserts it into dst's heap.
+	sh.k++
+	sh.callLog = append(sh.callLog, callRec{at: src.now + delay, dst: int32(dst), fn: fn})
+}
+
+// Run executes events in global timestamp order until all queues drain
+// past until, Stop is called, or the clock would pass until. Events at
+// exactly until still run, and the clock advances to until when not
+// stopped — the same contract as Engine.Run.
+func (g *ShardGroup) Run(until Time) Time {
+	if len(g.shards) == 1 {
+		g.now = g.shards[0].eng.Run(until)
+		return g.now
+	}
+	stopped := g.runWindows(until)
+	if g.now < until && !stopped {
+		g.now = until
+	}
+	g.align()
+	return g.now
+}
+
+// RunAll executes events until every shard's queue drains or Stop is
+// called, returning the time of the last executed event.
+func (g *ShardGroup) RunAll() Time {
+	if len(g.shards) == 1 {
+		g.now = g.shards[0].eng.RunAll()
+		return g.now
+	}
+	const forever = Time(1<<62 - 1)
+	g.runWindows(forever)
+	g.align()
+	return g.now
+}
+
+// align moves every shard clock to the group clock so that sequential-
+// phase scheduling (which mixes engines) sees one coherent time.
+func (g *ShardGroup) align() {
+	for _, sh := range g.shards {
+		if sh.eng.now < g.now {
+			sh.eng.now = g.now
+		}
+	}
+}
+
+// runWindows is the coordinator loop: pick the window [T, T+L), run it
+// on every shard that has work in it (in parallel when more than one
+// does), then merge journals at the barrier. Returns whether the run
+// was stopped.
+func (g *ShardGroup) runWindows(until Time) bool {
+	if g.running {
+		panic("sim: ShardGroup.Run called reentrantly")
+	}
+	g.running = true
+	defer func() { g.running = false }()
+
+	var windowWG sync.WaitGroup
+	workers := false
+	defer func() {
+		for _, sh := range g.shards {
+			sh.inWindow = false
+			if workers && sh.start != nil {
+				close(sh.start)
+				sh.start = nil
+			}
+		}
+	}()
+	for _, sh := range g.shards {
+		sh.inWindow = true
+	}
+
+	for {
+		if g.stop.Load() {
+			g.stop.Store(false)
+			return true
+		}
+		// T = earliest pending event anywhere; the window is [T, T+L).
+		var t Time
+		have := false
+		for _, sh := range g.shards {
+			if at, ok := sh.eng.peekAt(); ok && (!have || at < t) {
+				t, have = at, true
+			}
+		}
+		if !have || t > until {
+			return false
+		}
+		limit := t + g.lookahead
+		if limit > until+1 {
+			// Engine.Run's bound is inclusive; runWindow's is strict.
+			limit = until + 1
+		}
+
+		active := 0
+		var only *shard
+		for _, sh := range g.shards {
+			if at, ok := sh.eng.peekAt(); ok && at < limit {
+				active++
+				only = sh
+			}
+		}
+		if active == 1 {
+			// One busy shard: run it inline and skip the goroutine
+			// round-trip. Journaling stays on — its calls still consume
+			// seqs that the barrier turns into true ones.
+			only.runOne(limit)
+		} else {
+			if !workers {
+				g.spawnWorkers(&windowWG)
+				workers = true
+			}
+			windowWG.Add(active)
+			for _, sh := range g.shards {
+				if at, ok := sh.eng.peekAt(); ok && at < limit {
+					sh.start <- limit
+				}
+			}
+			windowWG.Wait()
+		}
+		g.barrier()
+		for _, sh := range g.shards {
+			if sh.panicked != nil {
+				r := sh.panicked
+				sh.panicked = nil
+				panic(r)
+			}
+			if sh.eng.now > g.now {
+				g.now = sh.eng.now
+			}
+			// An engine-level Stop from a callback stops the group at
+			// this barrier, mirroring serial Stop-at-next-event.
+			if sh.eng.stopped.Load() {
+				sh.eng.stopped.Store(false)
+				g.stop.Store(true)
+			}
+		}
+	}
+}
+
+// spawnWorkers starts one goroutine per shard for the duration of this
+// run; each exits when runWindows closes its start channel.
+func (g *ShardGroup) spawnWorkers(wg *sync.WaitGroup) {
+	for _, sh := range g.shards {
+		sh.start = make(chan Time)
+		go func(sh *shard) {
+			for limit := range sh.start {
+				sh.runOne(limit)
+				wg.Done()
+			}
+		}(sh)
+	}
+}
+
+// barrier merges the shards' window journals in global execution order
+// and replays their schedule calls against the true counter: local
+// schedules are rekeyed in place, cross-shard handoffs are inserted
+// into their destination heaps. Runs on the coordinator with all
+// workers idle.
+func (g *ShardGroup) barrier() {
+	base := g.counter
+	for {
+		// K-way merge step: pick the journaled event that executed
+		// earliest in global order. A provisional head key resolves
+		// through trueOf — its same-shard parent was merged earlier.
+		best := -1
+		var bestAt Time
+		var bestSeq uint64
+		for i, sh := range g.shards {
+			if sh.execPos >= len(sh.execLog) {
+				continue
+			}
+			rec := sh.execLog[sh.execPos]
+			seq := rec.seq
+			if seq > base {
+				seq = sh.trueOf[seq-base-1]
+			}
+			if best < 0 || rec.at < bestAt || (rec.at == bestAt && seq < bestSeq) {
+				best, bestAt, bestSeq = i, rec.at, seq
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sh := g.shards[best]
+		rec := sh.execLog[sh.execPos]
+		sh.execPos++
+		for c := uint64(0); c < rec.nCalls; c++ {
+			call := sh.callLog[sh.callPos]
+			sh.callPos++
+			g.counter++
+			sh.trueOf = append(sh.trueOf, g.counter)
+			if call.dst < 0 {
+				sh.eng.rekey(call.id, g.counter)
+			} else {
+				d := g.shards[call.dst]
+				d.staged = append(d.staged, handoff{at: call.at, seq: g.counter, fn: call.fn})
+			}
+		}
+	}
+	for _, sh := range g.shards {
+		for i := range sh.staged {
+			h := &sh.staged[i]
+			sh.eng.insertKeyed(h.at, h.seq, h.fn)
+			h.fn = nil
+		}
+		for i := range sh.callLog {
+			sh.callLog[i].fn = nil // don't pin dead closures in the reused backing array
+		}
+		sh.staged = sh.staged[:0]
+		sh.execLog = sh.execLog[:0]
+		sh.callLog = sh.callLog[:0]
+		sh.trueOf = sh.trueOf[:0]
+		sh.execPos, sh.callPos, sh.k = 0, 0, 0
+	}
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestShardGroupMatchesSerial pins the bit-identity invariant on fixed
+// scripts for a spread of shard counts (including counts that don't
+// divide the domain count, so shards carry uneven load).
+func TestShardGroupMatchesSerial(t *testing.T) {
+	scripts := [][]byte{
+		{7, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		{3, 3, 3, 3, 255, 255, 0, 0, 7, 7, 7, 7, 2, 4, 6, 8, 1, 3, 5, 7, 9, 11},
+		{255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255},
+		{},
+	}
+	for si, data := range scripts {
+		for _, shards := range []int{1, 2, 3, 4, 7, 8} {
+			want := runShardScriptSerial(data, shards, 99)
+			got := runShardScriptGroup(data, shards, 99)
+			if d := diffShardResults(want, got); d != "" {
+				t.Fatalf("script %d, %d shards: %s", si, shards, d)
+			}
+		}
+	}
+}
+
+// TestShardGroupSequentialPhase checks scheduling and cross-shard sends
+// while no run is in progress: they draw from the shared counter and
+// behave exactly like serial schedules, including sub-lookahead delays.
+func TestShardGroupSequentialPhase(t *testing.T) {
+	g := NewShardGroup(2, 100, 1)
+	// Logs are per-shard: callbacks may only touch state owned by
+	// their own shard (a shared slice would be racy and order would
+	// reflect scheduler interleaving, not simulated time).
+	logs := make([][]string, 2)
+	mark := func(s int, label string) func() {
+		return func() { logs[s] = append(logs[s], fmt.Sprintf("%s@%v", label, g.Shard(s).Now())) }
+	}
+	g.Shard(0).Schedule(50, mark(0, "a"))
+	// Cross-shard sends below the lookahead are legal before the run
+	// starts — there is no window to protect yet.
+	g.Send(g.Shard(0), 1, 10, mark(1, "b"))
+	g.Send(g.Shard(1), 0, 10, mark(0, "c"))
+	g.Run(200)
+	if got := strings.Join(logs[0], ","); got != "c@10ns,a@50ns" {
+		t.Fatalf("shard 0 log = %q, want c@10ns,a@50ns", got)
+	}
+	if got := strings.Join(logs[1], ","); got != "b@10ns" {
+		t.Fatalf("shard 1 log = %q, want b@10ns", got)
+	}
+	if g.Now() != 200 {
+		t.Fatalf("Now() = %v after Run(200), want 200", g.Now())
+	}
+	for i := 0; i < 2; i++ {
+		if n := g.Shard(i).Now(); n != 200 {
+			t.Fatalf("shard %d clock = %v after Run(200), want 200", i, n)
+		}
+	}
+}
+
+// TestShardGroupSameInstantTieBreak checks the FIFO tie-break across a
+// handoff: events landing at the same instant on one shard fire in
+// global schedule order even when one of them crossed a shard boundary.
+func TestShardGroupSameInstantTieBreak(t *testing.T) {
+	g := NewShardGroup(2, 100, 1)
+	var order []string
+	g.Shard(0).Schedule(10, func() {
+		// Scheduled first: the handoff arriving on shard 1 at t=110.
+		g.Send(g.Shard(0), 1, 100, func() { order = append(order, "handoff") })
+	})
+	g.Shard(1).Schedule(20, func() {
+		// Scheduled second (t=20 > t=10): the local event at t=110.
+		g.Shard(1).Schedule(90, func() { order = append(order, "local") })
+	})
+	g.RunAll()
+	if got := strings.Join(order, ","); got != "handoff,local" {
+		t.Fatalf("same-instant order = %q, want handoff,local (handoff was scheduled first)", got)
+	}
+	if g.Now() != 110 {
+		t.Fatalf("Now() = %v, want 110", g.Now())
+	}
+}
+
+// TestShardGroupSendBelowLookaheadPanics pins the conservative bound:
+// an in-window cross-shard send under the lookahead would break the
+// window safety proof, so it must panic loudly rather than reorder.
+func TestShardGroupSendBelowLookaheadPanics(t *testing.T) {
+	g := NewShardGroup(2, 100, 1)
+	panicked := make(chan any, 1)
+	g.Shard(0).Schedule(0, func() {
+		defer func() { panicked <- recover() }()
+		g.Send(g.Shard(0), 1, 99, func() {})
+	})
+	// Give shard 1 concurrent work so the window genuinely runs on
+	// worker goroutines.
+	g.Shard(1).Schedule(0, func() {})
+	g.RunAll()
+	select {
+	case r := <-panicked:
+		if r == nil {
+			t.Fatal("cross-shard Send below lookahead did not panic")
+		}
+	default:
+		t.Fatal("sender callback never ran")
+	}
+}
+
+// TestShardGroupStopFromCallback checks window-granular stop: an
+// engine-level Stop raised inside a callback halts the whole group at
+// the next barrier, and a resumed run completes with a state identical
+// to an uninterrupted serial run.
+func TestShardGroupStopFromCallback(t *testing.T) {
+	build := func() (*ShardGroup, *[][]uint64) {
+		g := NewShardGroup(2, 100, 7)
+		logs := make([][]uint64, 2)
+		for s := 0; s < 2; s++ {
+			s := s
+			var tick func(n int) func()
+			tick = func(n int) func() {
+				return func() {
+					logs[s] = append(logs[s], uint64(g.Shard(s).Now()), g.RNG(s).Uint64())
+					if n > 0 {
+						g.Shard(s).Schedule(30, tick(n-1))
+						g.Send(g.Shard(s), 1-s, 150, func() {})
+					}
+				}
+			}
+			g.Shard(s).Schedule(Time(s), tick(20))
+		}
+		return g, &logs
+	}
+
+	// Reference: run to completion without stopping.
+	ref, refLogs := build()
+	ref.RunAll()
+
+	g, logs := build()
+	fired := false
+	g.Shard(0).Schedule(200, func() {
+		fired = true
+		g.Shard(0).Stop()
+	})
+	g.Run(5000)
+	if !fired {
+		t.Fatal("stop trigger never fired")
+	}
+	if g.Executed() >= ref.Executed() {
+		t.Fatalf("stop did not halt early: executed %d of %d", g.Executed(), ref.Executed())
+	}
+	g.RunAll()
+	if g.Executed() != ref.Executed()+1 {
+		t.Fatalf("resumed run executed %d events, reference %d (+1 trigger)", g.Executed(), ref.Executed())
+	}
+	for s := range *refLogs {
+		w, got := (*refLogs)[s], (*logs)[s]
+		if len(w) != len(got) {
+			t.Fatalf("shard %d: %d records vs reference %d", s, len(got), len(w))
+		}
+		for i := range w {
+			if w[i] != got[i] {
+				t.Fatalf("shard %d record %d diverged after stop+resume", s, i/2)
+			}
+		}
+	}
+}
+
+// TestShardGroupStopFromAnotherGoroutine exercises the cross-goroutine
+// stop path under -race: a watcher goroutine stops a group that would
+// otherwise run a long self-rescheduling chain.
+func TestShardGroupStopFromAnotherGoroutine(t *testing.T) {
+	g := NewShardGroup(2, 100, 1)
+	progress := make(chan struct{})
+	var once sync.Once
+	for s := 0; s < 2; s++ {
+		s := s
+		var spin func()
+		n := 0
+		spin = func() {
+			n++
+			if s == 0 && n == 500 {
+				once.Do(func() { close(progress) })
+			}
+			g.Shard(s).Schedule(1, spin)
+		}
+		g.Shard(s).Schedule(0, spin)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-progress
+		g.Stop()
+	}()
+	g.RunAll()
+	wg.Wait()
+	if g.Executed() < 500 {
+		t.Fatalf("executed %d events, want >= 500 before stop", g.Executed())
+	}
+	if g.Pending() == 0 {
+		t.Fatal("stop consumed the pending self-rescheduling chain")
+	}
+}
+
+// TestShardGroupPanicPropagates checks that a callback panic on a
+// worker goroutine resurfaces from Run on the caller's goroutine
+// instead of crashing the process from the worker.
+func TestShardGroupPanicPropagates(t *testing.T) {
+	g := NewShardGroup(2, 100, 1)
+	g.Shard(0).Schedule(10, func() { panic("boom") })
+	g.Shard(1).Schedule(10, func() {})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	g.RunAll()
+	t.Fatal("panic did not propagate")
+}
+
+// TestShardGroupValidation pins the constructor and Send argument
+// contracts.
+func TestShardGroupValidation(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("NewShardGroup(0)", func() { NewShardGroup(0, 100, 1) })
+	expectPanic("zero lookahead", func() { NewShardGroup(2, 0, 1) })
+	g := NewShardGroup(2, 100, 1)
+	expectPanic("bad dst", func() { g.Send(g.Shard(0), 2, 200, func() {}) })
+	expectPanic("nil fn", func() { g.Send(g.Shard(0), 1, 200, nil) })
+	expectPanic("foreign engine", func() { g.Send(NewEngine(), 1, 200, func() {}) })
+	expectPanic("Run on shard engine", func() { g.Shard(0).Run(10) })
+}

@@ -24,6 +24,7 @@ func ThreeTierClos(pods, aggPerPod, leafPerPod, hostsPerLeaf int, cfg LinkConfig
 	cfg.fill()
 	t := newTopology()
 	t.Gamma = 1
+	t.NumPods = pods
 
 	for c := 0; c < aggPerPod; c++ {
 		t.Cores = append(t.Cores, t.addNode(KindSpine, fmt.Sprintf("C%d", c+1), -1))
@@ -32,12 +33,16 @@ func ThreeTierClos(pods, aggPerPod, leafPerPod, hostsPerLeaf int, cfg LinkConfig
 		var podAggs []NodeID
 		for a := 0; a < aggPerPod; a++ {
 			agg := t.addNode(KindSpine, fmt.Sprintf("A%d.%d", p+1, a+1), -1)
+			t.Nodes[agg].Pod = p
 			podAggs = append(podAggs, agg)
 			t.Aggs = append(t.Aggs, agg)
-			t.addLink(t.Cores[a], agg, cfg.FabricBitsPerSec, cfg.FabricProp)
+			// Agg-core links are the only inter-pod edges, so CoreProp
+			// is the sharded engine's lookahead on this topology.
+			t.addLink(t.Cores[a], agg, cfg.CoreBitsPerSec, cfg.CoreProp)
 		}
 		for l := 0; l < leafPerPod; l++ {
 			leaf := t.addNode(KindLeaf, fmt.Sprintf("L%d.%d", p+1, l+1), -1)
+			t.Nodes[leaf].Pod = p
 			t.Leaves = append(t.Leaves, leaf)
 			for _, agg := range podAggs {
 				t.addLink(agg, leaf, cfg.FabricBitsPerSec, cfg.FabricProp)

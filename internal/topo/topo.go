@@ -52,6 +52,12 @@ type Node struct {
 	// Remote marks emulated remote users (north-south endpoints, §6)
 	// that workload generators must not treat as servers.
 	Remote bool
+	// Pod is the node's pod index — the unit the sharded engine
+	// partitions the fabric by. Hosts, leaves, and (3-tier) aggs belong
+	// to their pod; 2-tier topologies treat each leaf plus its hosts as
+	// a pod. Pod is -1 for nodes outside any pod (core switches and
+	// 2-tier spines), which the shard map distributes round-robin.
+	Pod int
 }
 
 // Link is a bidirectional cable between two nodes. The fabric simulates
@@ -75,9 +81,15 @@ func (l Link) Other(n NodeID) NodeID {
 // (applied by fill) match the paper's testbed: 10 Gbps everywhere.
 type LinkConfig struct {
 	HostBitsPerSec   int64    // host <-> leaf
-	FabricBitsPerSec int64    // leaf <-> spine
+	FabricBitsPerSec int64    // leaf <-> spine (and agg <-> leaf in 3-tier)
 	HostProp         sim.Time // host-leaf one-way latency
 	FabricProp       sim.Time // leaf-spine one-way latency
+	// Core link parameters apply to the agg <-> core tier of a 3-tier
+	// Clos; zero values inherit the fabric settings. CoreProp is the
+	// inter-pod latency — the sharded engine's conservative lookahead —
+	// so a longer core propagation buys wider parallel windows.
+	CoreBitsPerSec int64
+	CoreProp       sim.Time
 }
 
 // DefaultLinkConfig matches the testbed: 10 Gbps links, sub-2 µs hops.
@@ -104,6 +116,12 @@ func (c *LinkConfig) fill() {
 	if c.FabricProp == 0 {
 		c.FabricProp = d.FabricProp
 	}
+	if c.CoreBitsPerSec == 0 {
+		c.CoreBitsPerSec = c.FabricBitsPerSec
+	}
+	if c.CoreProp == 0 {
+		c.CoreProp = c.FabricProp
+	}
 }
 
 // Topology is an immutable graph of nodes and links.
@@ -122,6 +140,11 @@ type Topology struct {
 	// Gamma is the number of parallel links between each spine-leaf
 	// pair (γ in the paper).
 	Gamma int
+
+	// NumPods is the number of pods the topology partitions into (leaf
+	// count for 2-tier, pod count for 3-tier, 1 for a single switch) —
+	// the natural upper bound on engine shards.
+	NumPods int
 
 	adj       map[NodeID][]LinkID
 	hostLink  map[packet.HostID]LinkID
@@ -159,6 +182,7 @@ func (t *Topology) AddLeafHost(leaf NodeID, bps int64, prop sim.Time) packet.Hos
 	}
 	h := packet.HostID(len(t.Hosts))
 	hn := t.addNode(KindHost, fmt.Sprintf("h%d", h), h)
+	t.Nodes[hn].Pod = t.Nodes[leaf].Pod
 	t.Hosts = append(t.Hosts, hn)
 	lid := t.addLink(hn, leaf, bps, prop)
 	t.hostLink[h] = lid
@@ -176,6 +200,7 @@ func (t *Topology) AddSpineHost(spine NodeID, bps int64, prop sim.Time) packet.H
 	h := packet.HostID(len(t.Hosts))
 	hn := t.addNode(KindHost, fmt.Sprintf("h%d", h), h)
 	t.Nodes[hn].Remote = true
+	t.Nodes[hn].Pod = t.Nodes[spine].Pod
 	t.Hosts = append(t.Hosts, hn)
 	lid := t.addLink(hn, spine, bps, prop)
 	t.hostLink[h] = lid
@@ -201,9 +226,13 @@ func (t *Topology) SpineLeafLinks(s, l NodeID) []LinkID { return t.spineLeaf[[2]
 // the paper's workload definitions).
 func (t *Topology) SameLeaf(a, b packet.HostID) bool { return t.hostLeaf[a] == t.hostLeaf[b] }
 
+// PodOf returns node n's pod index, or -1 for nodes outside any pod
+// (core switches, 2-tier spines).
+func (t *Topology) PodOf(n NodeID) int { return t.Nodes[n].Pod }
+
 func (t *Topology) addNode(kind NodeKind, name string, host packet.HostID) NodeID {
 	id := NodeID(len(t.Nodes))
-	t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Name: name, Host: host})
+	t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Name: name, Host: host, Pod: -1})
 	return id
 }
 
@@ -241,11 +270,13 @@ func TwoTierClos(spines, leaves, hostsPerLeaf, gamma int, cfg LinkConfig) *Topol
 	cfg.fill()
 	t := newTopology()
 	t.Gamma = gamma
+	t.NumPods = leaves
 	for i := 0; i < spines; i++ {
 		t.Spines = append(t.Spines, t.addNode(KindSpine, fmt.Sprintf("S%d", i+1), -1))
 	}
 	for i := 0; i < leaves; i++ {
 		leaf := t.addNode(KindLeaf, fmt.Sprintf("L%d", i+1), -1)
+		t.Nodes[leaf].Pod = i
 		t.Leaves = append(t.Leaves, leaf)
 		for _, s := range t.Spines {
 			for g := 0; g < gamma; g++ {
@@ -259,6 +290,7 @@ func TwoTierClos(spines, leaves, hostsPerLeaf, gamma int, cfg LinkConfig) *Topol
 		for j := 0; j < hostsPerLeaf; j++ {
 			h := packet.HostID(li*hostsPerLeaf + j)
 			hn := t.addNode(KindHost, fmt.Sprintf("h%d", h), h)
+			t.Nodes[hn].Pod = li
 			t.Hosts = append(t.Hosts, hn)
 			lid := t.addLink(hn, leaf, cfg.HostBitsPerSec, cfg.HostProp)
 			t.hostLink[h] = lid
@@ -277,11 +309,14 @@ func SingleSwitch(hosts int, cfg LinkConfig) *Topology {
 	cfg.fill()
 	t := newTopology()
 	t.Gamma = 1
+	t.NumPods = 1
 	leaf := t.addNode(KindLeaf, "SW", -1)
+	t.Nodes[leaf].Pod = 0
 	t.Leaves = append(t.Leaves, leaf)
 	for i := 0; i < hosts; i++ {
 		h := packet.HostID(i)
 		hn := t.addNode(KindHost, fmt.Sprintf("h%d", h), h)
+		t.Nodes[hn].Pod = 0
 		t.Hosts = append(t.Hosts, hn)
 		lid := t.addLink(hn, leaf, cfg.HostBitsPerSec, cfg.HostProp)
 		t.hostLink[h] = lid

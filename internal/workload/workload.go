@@ -79,7 +79,7 @@ func startElephants(c *cluster.Cluster, pairs [][2]packet.HostID) *Elephants {
 		e.Conns = append(e.Conns, conn)
 	}
 	e.baseRx = make([]uint64, len(e.Conns))
-	e.startAt = c.Eng.Now()
+	e.startAt = c.Now()
 	return e
 }
 

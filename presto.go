@@ -92,6 +92,14 @@ type Options struct {
 	// result. Nil (the default) adds zero overhead and leaves results
 	// bit-identical.
 	Telemetry *telemetry.Registry
+
+	// Shards partitions the engine into per-pod shards with
+	// conservative lookahead synchronization; results stay
+	// bit-identical to the serial engine. Honored by pod-scale
+	// experiments (RunPodTraffic); the figure-specific runners above
+	// always execute serially — their probers, link failures, and
+	// telemetry hooks are cross-shard by nature. 0 or 1 = serial.
+	Shards int
 }
 
 func (o *Options) fill() {
@@ -141,6 +149,12 @@ func OptimalTopo(hosts int) *topo.Topology {
 
 // buildCluster assembles a cluster for a system on a topology.
 func buildCluster(sys System, tp *topo.Topology, opt Options) *cluster.Cluster {
+	return cluster.New(clusterConfigFor(sys, tp, opt))
+}
+
+// clusterConfigFor maps a system onto a cluster configuration
+// (callers that support sharding set Shards on the result).
+func clusterConfigFor(sys System, tp *topo.Topology, opt Options) cluster.Config {
 	cfg := cluster.Config{Topology: tp, Seed: opt.Seed, GRO: opt.GROOverride, Telemetry: opt.Telemetry}
 	switch sys {
 	case SysECMP, SysOptimal:
@@ -160,7 +174,7 @@ func buildCluster(sys System, tp *topo.Topology, opt Options) *cluster.Cluster {
 	case SysPerPacket:
 		cfg.Scheme = cluster.PerPacket
 	}
-	return cluster.New(cfg)
+	return cfg
 }
 
 // topoFor returns the topology a system runs on, given the Clos the
