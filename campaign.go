@@ -52,6 +52,7 @@ var campaignBuilders = []struct {
 	{"fig18", "Failure handling: RTT per stage (bijection)", fig18Cells},
 	{"ablations", "Design-choice ablations (flowcell size, GRO alpha, buffers, DCTCP, tunnels)", ablationCells},
 	{"podtraffic", "Pod-scale cross-pod elephants on a 3-tier Clos (honors -shards)", podtrafficCells},
+	{"scheme-matrix", "Scheme registry × workload × topology comparison matrix", schemeMatrixCells},
 }
 
 // CampaignExperimentIDs lists the experiment IDs in render order.

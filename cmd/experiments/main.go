@@ -66,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		update   = fs.Bool("update", false, "with -gate: regenerate the golden file from this run instead of checking")
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		workload = fs.String("workload", "", "run a declarative workload spec (preset name or spec.json path) across the §4 system lineup instead of -run")
+		schemeF  = fs.String("scheme", "", "comma-separated scheme specs (registry name, optionally name:k=v,...); restricts -run scheme-matrix or replaces the -workload system lineup")
 		wlCheck  = fs.String("workload-check", "", "validate workload specs (comma-separated preset names or spec.json paths) and exit")
 
 		tracePath  = fs.String("trace", "", "write a Chrome trace-event file covering every run (one process per run)")
@@ -142,14 +143,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var schemes []string
+	if *schemeF != "" {
+		for _, s := range strings.Split(*schemeF, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				schemes = append(schemes, s)
+			}
+		}
+	}
+
 	var spec *campaign.Spec
-	if *workload != "" {
+	switch {
+	case *workload != "":
 		ws, err := wspec.Resolve(*workload)
 		if err != nil {
 			return fail("workload", err)
 		}
-		spec = presto.SpecWorkloadCampaign(ws, nil, opt)
-	} else {
+		var systems []presto.System
+		for _, s := range schemes {
+			sys, err := presto.SystemFor(s)
+			if err != nil {
+				return fail("scheme", err)
+			}
+			systems = append(systems, sys)
+		}
+		spec = presto.SpecWorkloadCampaign(ws, systems, opt)
+	case len(schemes) > 0:
+		if *runFlag != "scheme-matrix" {
+			return fail("scheme", fmt.Errorf("-scheme needs -workload or -run scheme-matrix (registered schemes: %s)", strings.Join(presto.SchemeNames(), ", ")))
+		}
+		var err error
+		spec, err = presto.SchemeMatrixSpec(schemes, opt)
+		if err != nil {
+			return fail("scheme", err)
+		}
+	default:
 		var err error
 		spec, err = presto.CampaignSpec(*runFlag, opt)
 		if err != nil {

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"presto"
 	"presto/internal/campaign"
@@ -70,6 +71,7 @@ func renderReport(w io.Writer, report *campaign.Report, seeds int) {
 		"fig13": renderFig13, "fig14": renderFig14, "fig15": renderFig15,
 		"fig16": renderFig16, "table1": renderTable1, "table2": renderTable2,
 		"fig17": renderFig17, "fig18": renderFig18, "ablations": renderAblations,
+		"scheme-matrix": renderSchemeMatrix,
 	}
 	for _, exp := range presto.ExperimentsInReport(report) {
 		fmt.Fprintf(w, "==== %s: %s ====\n", exp, presto.CampaignExperimentTitle(exp))
@@ -331,5 +333,60 @@ func renderAblations(w io.Writer, x rx) {
 	for _, mode := range []string{"per-host", "tunnel"} {
 		id := "ablations/labels=" + mode
 		fmt.Fprintf(w, "  %-8s %s Gbps  %s rules\n", mode, x.val(id, "tput_gbps", 2), x.val(id, "leaf_rules", 0))
+	}
+}
+
+// renderSchemeMatrix lays out the scheme × workload × topology grid:
+// one table per workload, schemes as rows, and per-topology mean FCT,
+// p99 FCT, and elephant throughput as columns. Rows come from the
+// cells actually present, so partial matrices (-scheme subsets,
+// smoke grids) render without empty rows.
+func renderSchemeMatrix(w io.Writer, x rx) {
+	var schemes []string
+	seen := map[string]bool{}
+	for i := range x.r.Cells {
+		c := &x.r.Cells[i]
+		if c.Experiment != "scheme-matrix" {
+			continue
+		}
+		name := strings.TrimPrefix(c.ID, "scheme-matrix/scheme=")
+		if name == c.ID {
+			continue
+		}
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			name = name[:i]
+		}
+		if !seen[name] {
+			seen[name] = true
+			schemes = append(schemes, name)
+		}
+	}
+	topos := presto.SchemeMatrixTopos()
+	for _, wl := range presto.SchemeMatrixWorkloads() {
+		any := false
+		tb := metrics.Table{Header: []string{"scheme"}}
+		for _, tp := range topos {
+			tb.Header = append(tb.Header,
+				tp+" FCT-mean(ms)", tp+" FCT-p99(ms)", tp+" tput(Gbps)")
+		}
+		for _, s := range schemes {
+			row := []string{s}
+			present := false
+			for _, tp := range topos {
+				id := presto.SchemeMatrixCellID(s, wl, tp)
+				if x.r.Cell(id) != nil {
+					present = true
+				}
+				row = append(row, x.val(id, "fct_ms_mean", 3),
+					x.val(id, "fct_ms_p99", 3), x.val(id, "tput_gbps", 2))
+			}
+			if present {
+				any = true
+				tb.AddRow(row...)
+			}
+		}
+		if any {
+			fmt.Fprintf(w, "workload %s:\n%s", wl, tb.String())
+		}
 	}
 }

@@ -154,14 +154,38 @@ func specBuilder(defaultCellTimeout time.Duration) func(server.JobRequest) (*cam
 			Duration: sim.FromDuration(time.Duration(req.Duration)),
 			Warmup:   sim.FromDuration(time.Duration(req.Warmup)),
 		}
+		var schemes []string
+		for _, s := range strings.Split(req.Scheme, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				schemes = append(schemes, s)
+			}
+		}
 		var spec *campaign.Spec
-		if hasWorkload {
+		switch {
+		case hasWorkload:
 			ws, err := wspec.ResolveJSON(req.Workload)
 			if err != nil {
 				return nil, fmt.Errorf("workload: %w", err)
 			}
-			spec = presto.SpecWorkloadCampaign(ws, nil, opt)
-		} else {
+			var systems []presto.System
+			for _, s := range schemes {
+				sys, err := presto.SystemFor(s)
+				if err != nil {
+					return nil, fmt.Errorf("scheme: %w", err)
+				}
+				systems = append(systems, sys)
+			}
+			spec = presto.SpecWorkloadCampaign(ws, systems, opt)
+		case len(schemes) > 0:
+			if req.Experiments != "scheme-matrix" {
+				return nil, fmt.Errorf(`"scheme" needs "workload" or "experiments": "scheme-matrix"`)
+			}
+			var err error
+			spec, err = presto.SchemeMatrixSpec(schemes, opt)
+			if err != nil {
+				return nil, fmt.Errorf("scheme: %w", err)
+			}
+		default:
 			var err error
 			spec, err = presto.CampaignSpec(req.Experiments, opt)
 			if err != nil {

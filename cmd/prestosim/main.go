@@ -36,6 +36,7 @@ import (
 
 	"presto"
 	"presto/internal/campaign"
+	"presto/internal/scheme"
 	"presto/internal/sim"
 	"presto/internal/telemetry"
 	wspec "presto/internal/workload/spec"
@@ -51,7 +52,8 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("prestosim", flag.ContinueOnError)
 	var (
-		system     = fs.String("system", "presto", "ecmp | mptcp | presto | optimal | flowlet100 | flowlet500 | presto-ecmp | per-packet")
+		system     = fs.String("system", "presto", "ecmp | mptcp | presto | optimal | flowlet100 | flowlet500 | presto-ecmp | per-packet, or any scheme spec")
+		schemeF    = fs.String("scheme", "", "scheme registry spec, name or name:k=v,... (e.g. diffflow:threshold=512KB); overrides -system")
 		workload   = fs.String("workload", "stride", "stride | shuffle | random | bijection | podtraffic, a workload-spec preset, or a spec.json path")
 		shards     = fs.Int("shards", 1, "per-pod engine shards for -workload podtraffic; results are bit-identical to serial, 1 = serial")
 		pods       = fs.Int("pods", 4, "pod count for -workload podtraffic (2 aggs, 2 leaves per pod)")
@@ -72,7 +74,11 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	sys, err := parseSystem(*system)
+	spec := *system
+	if *schemeF != "" {
+		spec = *schemeF
+	}
+	sys, err := parseSystem(spec)
 	if err != nil {
 		return err
 	}
@@ -283,7 +289,24 @@ func parseSystem(s string) (presto.System, error) {
 	case "per-packet", "perpacket":
 		return presto.SysPerPacket, nil
 	}
-	return 0, fmt.Errorf("unknown system %q", s)
+	// Fall back to the scheme registry: any registered scheme (plus
+	// params, e.g. "diffflow:threshold=512KB") is a valid system.
+	sys, err := presto.SystemFor(s)
+	if err == nil {
+		return sys, nil
+	}
+	// A known scheme with bad params gets the registry's own error
+	// (which names the offending key/bound); only an unrecognized
+	// name gets the full lineup listing.
+	name := s
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[:i]
+	}
+	if _, getErr := scheme.Get(strings.TrimSpace(name)); getErr == nil {
+		return presto.System{}, err
+	}
+	return presto.System{}, fmt.Errorf("unknown system %q (paper systems: ecmp | mptcp | presto | optimal | flowlet100 | flowlet500 | presto-ecmp | per-packet; or any scheme spec: %s)",
+		s, strings.Join(scheme.Names(), " | "))
 }
 
 // parseWorkloadOrSpec maps the -workload value onto either a built-in

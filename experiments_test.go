@@ -177,7 +177,7 @@ func TestSystemStrings(t *testing.T) {
 		SysPerPacket: "PerPacket",
 	} {
 		if sys.String() != want {
-			t.Errorf("%d -> %q", sys, sys.String())
+			t.Errorf("%s -> %q", sys.SchemeName(), sys.String())
 		}
 	}
 	for w, want := range map[WorkloadKind]string{

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"presto/internal/controller"
 	"presto/internal/fabric"
@@ -14,6 +15,7 @@ import (
 	"presto/internal/mptcp"
 	"presto/internal/nic"
 	"presto/internal/packet"
+	"presto/internal/scheme"
 	"presto/internal/sim"
 	"presto/internal/tcp"
 	"presto/internal/telemetry"
@@ -21,48 +23,33 @@ import (
 	"presto/internal/vswitch"
 )
 
-// Scheme selects the load-balancing configuration under test (§4):
-// the edge policy, the receive-offload algorithm, and the transport.
-type Scheme int
+// Scheme names the load-balancing configuration under test (§4): the
+// edge policy, the receive-offload algorithm, and the transport. The
+// value is a registry name from internal/scheme — any registered
+// scheme works, the constants below are the paper's lineup. The
+// zero value selects ECMP.
+type Scheme string
 
 const (
 	// ECMP pins each flow to one random end-to-end path (the paper's
 	// ECMP baseline), with official GRO.
-	ECMP Scheme = iota
+	ECMP Scheme = "ecmp"
 	// MPTCP runs 8 subflows per connection, each ECMP-pinned, with
 	// coupled congestion control and official GRO.
-	MPTCP
+	MPTCP Scheme = "mptcp"
 	// Presto sprays 64 KB flowcells round-robin over shadow-MAC
 	// spanning trees with Presto GRO at receivers.
-	Presto
+	Presto Scheme = "presto"
 	// Flowlet switches paths at inactivity gaps (see Config.FlowletGap)
 	// with official GRO.
-	Flowlet
+	Flowlet Scheme = "flowlet"
 	// PrestoECMP stamps flowcells but lets switches hash them per hop
 	// (Figure 14's comparison).
-	PrestoECMP
+	PrestoECMP Scheme = "presto-ecmp"
 	// PerPacket sprays every MTU packet (TSO off) with Presto GRO —
 	// the per-packet baseline of §2.1.
-	PerPacket
+	PerPacket Scheme = "per-packet"
 )
-
-func (s Scheme) String() string {
-	switch s {
-	case ECMP:
-		return "ecmp"
-	case MPTCP:
-		return "mptcp"
-	case Presto:
-		return "presto"
-	case Flowlet:
-		return "flowlet"
-	case PrestoECMP:
-		return "presto-ecmp"
-	case PerPacket:
-		return "per-packet"
-	}
-	return fmt.Sprintf("scheme(%d)", int(s))
-}
 
 // GROKind overrides the receive-offload algorithm.
 type GROKind int
@@ -92,6 +79,13 @@ type Config struct {
 	Topology *topo.Topology
 	Scheme   Scheme
 	Seed     uint64
+
+	// SchemeParams overrides the scheme's schema defaults (raw values,
+	// validated against the registry schema: e.g. {"cell": "32KB"}).
+	// The legacy knobs below (FlowletGap, Subflows, FlowcellBytes) fold
+	// into the matching schema params when the scheme has them;
+	// SchemeParams wins on conflict.
+	SchemeParams map[string]string
 
 	GRO        GROKind
 	GROConfig  gro.PrestoConfig
@@ -155,6 +149,11 @@ type Cluster struct {
 	conns    []*Conn
 	taps     map[packet.HostID]*tap
 	mon      *fabric.Monitor
+
+	// Registry-resolved scheme state.
+	def       *scheme.Scheme
+	params    scheme.Resolved
+	transport scheme.Transport
 }
 
 // New builds and wires a testbed. The controller's label state is
@@ -162,6 +161,9 @@ type Cluster struct {
 func New(cfg Config) *Cluster {
 	if cfg.Topology == nil {
 		panic("cluster: Config.Topology required")
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = ECMP
 	}
 	if cfg.Subflows == 0 {
 		cfg.Subflows = mptcp.DefaultSubflows
@@ -175,6 +177,12 @@ func New(cfg Config) *Cluster {
 		rng:      sim.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15),
 		nextPort: 10000,
 		taps:     make(map[packet.HostID]*tap),
+	}
+	c.resolveScheme()
+	if cfg.Ctrl.TreeWeights == nil {
+		cfg.Ctrl.TreeWeights = c.def.Hooks.TreeWeights
+		cfg.Ctrl.WeightSlots = c.def.Hooks.WeightSlots
+		c.cfg.Ctrl = cfg.Ctrl
 	}
 	shards := cfg.Shards
 	if shards > cfg.Topology.NumPods {
@@ -198,7 +206,7 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Topology.NumHosts(); i++ {
 		h := packet.HostID(i)
 		eng := c.engOf(h)
-		vs := vswitch.New(eng, h, nil, c.newPolicy())
+		vs := vswitch.New(eng, h, nil, c.newPolicy(h))
 		nicCfg := cfg.NIC
 		nicCfg.CPU.HandlerOverhead = 0
 		kind := c.groKind()
@@ -321,17 +329,55 @@ func (c *Cluster) Executed() uint64 {
 	return c.Eng.Executed
 }
 
+// resolveScheme looks the configured scheme up in the registry and
+// resolves its parameters: schema defaults, overlaid with the legacy
+// Config knobs when the schema has the matching param, overlaid with
+// SchemeParams. Config errors panic — New has no error return, and
+// front-ends validate specs via scheme.ParseSpec before building.
+func (c *Cluster) resolveScheme() {
+	def, err := scheme.Get(string(c.cfg.Scheme))
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	vals := make(map[string]string)
+	if c.cfg.FlowletGap > 0 && def.HasParam("gap") {
+		vals["gap"] = c.cfg.FlowletGap.AsDuration().String()
+	}
+	if c.cfg.FlowcellBytes > 0 && def.HasParam("cell") {
+		vals["cell"] = fmt.Sprintf("%d", c.cfg.FlowcellBytes)
+	}
+	if c.cfg.Subflows > 0 && def.HasParam("subflows") {
+		vals["subflows"] = fmt.Sprintf("%d", c.cfg.Subflows)
+	}
+	keys := make([]string, 0, len(c.cfg.SchemeParams))
+	for k := range c.cfg.SchemeParams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		vals[k] = c.cfg.SchemeParams[k]
+	}
+	params, err := def.Resolve(vals)
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	c.def, c.params = def, params
+	c.transport = def.TransportFor(params)
+}
+
+// SchemeInfo returns the resolved registry descriptor driving this
+// cluster.
+func (c *Cluster) SchemeInfo() *scheme.Scheme { return c.def }
+
 // groKind resolves the effective GRO algorithm.
 func (c *Cluster) groKind() GROKind {
 	if c.cfg.GRO != GROAuto {
 		return c.cfg.GRO
 	}
-	switch c.cfg.Scheme {
-	case Presto, PerPacket, PrestoECMP:
+	if c.def.GRO == scheme.GROPresto {
 		return GROPresto
-	default:
-		return GROOfficial
 	}
+	return GROOfficial
 }
 
 func (c *Cluster) makeGRO(kind GROKind, eng *sim.Engine) func(out gro.Output) gro.Handler {
@@ -352,33 +398,28 @@ func (c *Cluster) makeGRO(kind GROKind, eng *sim.Engine) func(out gro.Output) gr
 	}
 }
 
-// newPolicy builds a fresh policy instance for one host.
-func (c *Cluster) newPolicy() vswitch.Policy {
-	switch c.cfg.Scheme {
-	case Presto:
-		if c.cfg.FlowcellBytes > 0 {
-			return vswitch.NewPrestoThreshold(c.cfg.FlowcellBytes)
-		}
-		return vswitch.NewPresto()
-	case Flowlet:
-		return vswitch.NewFlowlet(c.cfg.FlowletGap)
-	case PrestoECMP:
-		return vswitch.NewPrestoECMP()
-	case PerPacket:
-		return vswitch.NewPerPacket()
-	default: // ECMP, MPTCP
-		return vswitch.NewECMP(c.rng.Fork())
-	}
+// newPolicy builds a fresh policy instance for one host via the
+// scheme registry. The Fork closure is lazy: only constructors that
+// need randomness draw from the cluster stream, so schemes that never
+// forked before the registry existed still don't — keeping RNG
+// consumption order (and every downstream fork) byte-identical.
+func (c *Cluster) newPolicy(h packet.HostID) vswitch.Policy {
+	return c.def.New(scheme.Host{
+		ID:   h,
+		Fork: func() *sim.RNG { return c.rng.Fork() },
+	}, c.params)
 }
 
 // tcpConfig returns the per-connection transport config for the
 // scheme.
 func (c *Cluster) tcpConfig() tcp.Config {
 	cfg := c.cfg.TCP
-	if c.cfg.Scheme == PerPacket {
+	if c.transport.MSSWrites {
 		// TSO off: the stack hands down MSS-sized writes.
 		cfg.MSS = packet.MSS
-		cfg.MaxSeg = packet.MSS
+	}
+	if c.transport.MaxSeg > 0 && c.transport.MaxSeg < packet.MaxSegSize {
+		cfg.MaxSeg = c.transport.MaxSeg
 	}
 	if c.cfg.FlowcellBytes > 0 && c.cfg.FlowcellBytes < packet.MaxSegSize {
 		// Algorithm 1 assigns whole skbs to flowcells, so a smaller

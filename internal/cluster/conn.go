@@ -54,8 +54,8 @@ func (c *Cluster) Dial(src, dst packet.HostID) *Conn {
 	revCfg.TraceHost = int32(dst)
 	srcVS, dstVS := c.Hosts[src].VS, c.Hosts[dst].VS
 
-	if c.cfg.Scheme == MPTCP {
-		for i := 0; i < c.cfg.Subflows; i++ {
+	if c.transport.Subflows > 1 {
+		for i := 0; i < c.transport.Subflows; i++ {
 			f := packet.FlowKey{
 				Src: packet.Addr{Host: src, Port: c.allocPort()},
 				Dst: packet.Addr{Host: dst, Port: 5001},

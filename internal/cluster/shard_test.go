@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"presto/internal/packet"
+	"presto/internal/scheme"
 	"presto/internal/telemetry"
 	"presto/internal/topo"
 )
@@ -105,5 +106,56 @@ func TestShardsCappedAtPods(t *testing.T) {
 	one := New(Config{Topology: topo.SingleSwitch(4, topo.LinkConfig{}), Shards: 8})
 	if one.Group() != nil || one.Eng == nil {
 		t.Fatal("single-pod topology should fall back to the serial engine")
+	}
+}
+
+// meshScenarioFingerprint drives cross-leaf traffic on a 4-leaf mesh
+// (one pod per leaf) and renders the same observables as
+// podScenarioFingerprint. The mesh's star trees route every pair
+// through hub leaves, so sharded runs exercise inter-shard handoff on
+// every transfer.
+func meshScenarioFingerprint(t *testing.T, scheme Scheme, shards int) string {
+	t.Helper()
+	tt := topo.LeafMesh(4, 2, topo.LinkConfig{})
+	c := New(Config{Topology: tt, Scheme: scheme, Seed: 11, Shards: shards})
+	n := tt.NumHosts()
+	var conns []*Conn
+	for i := 0; i < n; i++ {
+		cross := c.Dial(packet.HostID(i), packet.HostID((i+3)%n))
+		cross.Write(100 << 10)
+		conns = append(conns, cross)
+	}
+	c.RunAll()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%v executed=%d delivered=%d drops=%d loss=%g\n",
+		c.Now(), c.Executed(), c.Net.TotalDelivered(), c.Net.TotalDrops(), c.Net.LossRate())
+	for i, cn := range conns {
+		fmt.Fprintf(&b, "conn%d acked=%d delivered=%d\n", i, cn.Acked(), cn.Delivered())
+	}
+	for _, nd := range tt.Nodes {
+		if nd.Kind != topo.KindHost {
+			fmt.Fprintf(&b, "sw%d rx=%d\n", nd.ID, c.Net.Switch(nd.ID).RxPackets)
+		}
+	}
+	return b.String()
+}
+
+// TestEveryRegisteredSchemeShardsBitIdentical is the registry
+// completeness gate: every scheme in the registry — including ones
+// added after this test was written — must produce bit-identical
+// results serial vs sharded on a small mesh cluster. A scheme that
+// breaks the determinism contract fails here by name.
+func TestEveryRegisteredSchemeShardsBitIdentical(t *testing.T) {
+	for _, name := range scheme.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want := meshScenarioFingerprint(t, Scheme(name), 1)
+			got := meshScenarioFingerprint(t, Scheme(name), 2)
+			if got != want {
+				t.Fatalf("scheme %s diverged between serial and 2 shards:\nserial:\n%s\nsharded:\n%s",
+					name, want, got)
+			}
+		})
 	}
 }

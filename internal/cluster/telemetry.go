@@ -17,7 +17,7 @@ func (c *Cluster) wireTelemetry() {
 	if reg == nil {
 		return
 	}
-	prefix := reg.BeginRun(c.cfg.Scheme.String())
+	prefix := reg.BeginRun(string(c.cfg.Scheme))
 	tr := reg.Tracer()
 	c.Net.SetTracer(tr)
 	for _, h := range c.Hosts {

@@ -30,6 +30,13 @@ type Config struct {
 	// O(|switches| x |paths|) (§3.1's scalability extension, as in
 	// MOOSE/NetLord). The destination edge switch forwards on L3.
 	TunnelMode bool
+	// TreeWeights, when set, weights the usable trees for each
+	// (source leaf, destination leaf) pair; the controller encodes the
+	// weights as duplicated labels in the pushed mapping (the §3.3
+	// mechanism). Schemes provide this through their registry hooks.
+	TreeWeights func(tp *topo.Topology, trees []topo.Tree, srcLeaf, dstLeaf topo.NodeID) []float64
+	// WeightSlots bounds the expanded label list length (0 = 16).
+	WeightSlots int
 }
 
 // DefaultConfig uses a 50 ms control loop — fast for a controller,
@@ -77,17 +84,15 @@ func (c *Controller) Trees() []topo.Tree { return c.trees }
 // (host, tree) at every switch on each tree, and pushes the initial
 // destination→labels mappings to all registered vSwitches.
 func (c *Controller) InstallAll() {
-	if len(c.topo.Cores) > 0 {
-		c.trees = c.topo.RootedTrees()
-	} else {
-		c.trees = c.topo.Trees(nil)
-	}
+	// RootedTrees covers every shape: Route-table trees for 3-tier and
+	// leaf-mesh topologies, LeafLink trees for 2-tier/single-switch.
+	c.trees = c.topo.RootedTrees()
 	if c.cfg.TunnelMode {
 		c.installTunnels()
 		c.pushMappings()
 		return
 	}
-	if len(c.topo.Cores) > 0 {
+	if len(c.trees) > 0 && c.trees[0].Route != nil {
 		c.installRooted()
 		c.pushMappings()
 		return
@@ -229,20 +234,32 @@ func (c *Controller) pushMappings() {
 				vs.SetMapping(dst, nil)
 				continue
 			}
-			if c.topo.SameLeaf(srcHost, dst) || (len(c.topo.Spines) == 0 && len(c.topo.Cores) == 0) {
+			if c.topo.SameLeaf(srcHost, dst) || !c.topo.HasFabric() {
 				// Direct: a single minimal path; no multipathing needed.
 				vs.SetMapping(dst, nil)
 				continue
 			}
 			dstLeaf := c.topo.LeafOf(dst)
 			var macs []packet.MAC
+			var usable []topo.Tree
 			for _, tr := range c.trees {
 				if c.treeUsable(tr, srcLeaf, dstLeaf) {
+					usable = append(usable, tr)
 					if c.cfg.TunnelMode {
 						macs = append(macs, packet.TunnelMAC(c.leafIndex(dstLeaf), tr.Index))
 					} else {
 						macs = append(macs, packet.ShadowMAC(dst, tr.Index))
 					}
+				}
+			}
+			if c.cfg.TreeWeights != nil && len(macs) > 1 {
+				slots := c.cfg.WeightSlots
+				if slots <= 0 {
+					slots = 16
+				}
+				w := c.cfg.TreeWeights(c.topo, usable, srcLeaf, dstLeaf)
+				if seq := WeightedLabels(macs, w, slots); seq != nil {
+					macs = seq
 				}
 			}
 			vs.SetMapping(dst, macs)

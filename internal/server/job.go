@@ -81,6 +81,12 @@ type JobRequest struct {
 	// readable by the daemon. The spec's hash lands in the job's
 	// report cells and manifest.
 	Workload json.RawMessage `json:"workload,omitempty"`
+	// Scheme is a comma-separated list of scheme registry specs
+	// (name, optionally name:k=v,... e.g. "diffflow:threshold=512KB").
+	// With Workload it replaces the default system lineup; with
+	// Experiments "scheme-matrix" it restricts the matrix grid. It is
+	// an error with any other Experiments selection.
+	Scheme string `json:"scheme,omitempty"`
 	// Seed is the base random seed; replicas use seed, seed+1, ...
 	// (default 1).
 	Seed uint64 `json:"seed,omitempty"`

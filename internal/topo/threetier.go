@@ -71,6 +71,8 @@ func (t *Topology) linkBetween(a, b NodeID) (LinkID, bool) {
 // hashes over. Distances are computed by one BFS per destination and
 // cached (the graph is immutable).
 func (t *Topology) nextLinksTo(from, dst NodeID) []LinkID {
+	t.routeMu.Lock()
+	defer t.routeMu.Unlock()
 	if t.nextCache == nil {
 		t.nextCache = make(map[NodeID][]int)
 	}
@@ -132,9 +134,13 @@ func (t *Topology) nextLinksTo(from, dst NodeID) []LinkID {
 func (t *Topology) NextLinksTo(from, dst NodeID) []LinkID { return t.nextLinksTo(from, dst) }
 
 // RootedTrees computes one spanning tree per core switch of a 3-tier
-// topology (or falls back to Trees for 2-tier/single-switch). Each
-// tree's Route table maps (switch → destination leaf → egress link).
+// topology, per-leaf star trees for a leaf mesh, and falls back to
+// Trees for 2-tier/single-switch. Route-table trees map
+// (switch → destination leaf → egress link).
 func (t *Topology) RootedTrees() []Tree {
+	if t.mesh {
+		return t.meshTrees()
+	}
 	if len(t.Cores) == 0 {
 		return t.Trees(nil)
 	}

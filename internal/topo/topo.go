@@ -10,6 +10,7 @@ package topo
 
 import (
 	"fmt"
+	"sync"
 
 	"presto/internal/packet"
 	"presto/internal/sim"
@@ -146,10 +147,20 @@ type Topology struct {
 	// the natural upper bound on engine shards.
 	NumPods int
 
+	// mesh marks a LeafMesh topology: no spine tier, leaves fully
+	// meshed, spanning trees are per-leaf stars.
+	mesh bool
+
 	adj       map[NodeID][]LinkID
 	hostLink  map[packet.HostID]LinkID
 	hostLeaf  map[packet.HostID]NodeID
 	spineLeaf map[[2]NodeID][]LinkID // [spine, leaf] -> γ parallel links
+
+	// routeMu guards the lazily-filled routing caches below: shard
+	// workers hit NextLinksTo concurrently for real-MAC forwarding, and
+	// the memoized values are pure functions of the immutable graph, so
+	// a mutex keeps the fill race-free without affecting determinism.
+	routeMu   sync.Mutex
 	nextCache map[NodeID][]int       // per-destination BFS distances
 	candCache map[[2]NodeID][]LinkID // memoized equal-cost next hops
 }

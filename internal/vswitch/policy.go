@@ -21,6 +21,34 @@ const (
 	policyGCIdle      = sim.Time(10 * sim.Second)
 )
 
+// pathIndex maps a policy's label cursor onto the per-path accounting
+// index used by noteFlowcell (index 0 also covers destinations with no
+// mapping installed).
+func pathIndex(macs []packet.MAC, macIdx int) int {
+	if len(macs) == 0 {
+		return 0
+	}
+	return macIdx % len(macs)
+}
+
+// labelAt returns the macIdx'th label of the mapping (wrapping), or the
+// destination's real MAC when no mapping is installed (same-leaf
+// destinations, single-switch topologies). Every policy funnels its
+// label choice through here so none can get the empty-mapping edge
+// case wrong.
+func labelAt(macs []packet.MAC, macIdx int, dst packet.HostID) packet.MAC {
+	if len(macs) == 0 {
+		return packet.HostMAC(dst)
+	}
+	return macs[macIdx%len(macs)]
+}
+
+// stampLabel writes the macIdx'th label (or the real-MAC fallback) onto
+// the segment.
+func stampLabel(seg *packet.Segment, macs []packet.MAC, macIdx int) {
+	seg.DstMAC = labelAt(macs, macIdx, seg.Flow.Dst.Host)
+}
+
 // Presto implements Algorithm 1: assign the same shadow MAC to
 // consecutive segments until 64 KB accumulates, then advance to the
 // next label round-robin and bump the flowcell ID. Weighted
@@ -56,12 +84,6 @@ func (p *Presto) Name() string { return "presto" }
 // in the paper's OVS datapath.
 func (p *Presto) Select(vs *VSwitch, seg *packet.Segment) {
 	macs := vs.Mapping(seg.Flow.Dst.Host)
-	pathOf := func(macIdx int) int {
-		if len(macs) == 0 {
-			return 0
-		}
-		return macIdx % len(macs)
-	}
 	st, ok := p.flows[seg.Flow]
 	if !ok {
 		if len(p.flows) >= policyGCThreshold {
@@ -69,7 +91,7 @@ func (p *Presto) Select(vs *VSwitch, seg *packet.Segment) {
 		}
 		st = &prestoFlowState{}
 		p.flows[seg.Flow] = st
-		vs.noteFlowcell(pathOf(0), 0)
+		vs.noteFlowcell(pathIndex(macs, 0), 0)
 	}
 	st.lastSeen = vs.Eng.Now()
 	n := seg.Len()
@@ -77,17 +99,22 @@ func (p *Presto) Select(vs *VSwitch, seg *packet.Segment) {
 		st.bytecount = n
 		st.macIdx++
 		st.flowcellID++
-		vs.noteFlowcell(pathOf(st.macIdx), st.flowcellID)
+		vs.noteFlowcell(pathIndex(macs, st.macIdx), st.flowcellID)
 	} else {
 		st.bytecount += n
 	}
 	seg.FlowcellID = st.flowcellID
-	if len(macs) == 0 {
-		seg.DstMAC = packet.HostMAC(seg.Flow.Dst.Host)
-		return
-	}
-	seg.DstMAC = macs[st.macIdx%len(macs)]
+	stampLabel(seg, macs, st.macIdx)
 }
+
+// ecmpEntry is one flow's pinned path plus the idle timestamp the GC
+// sweeps on.
+type ecmpEntry struct {
+	mac      packet.MAC
+	lastSeen sim.Time
+}
+
+func (s *ecmpEntry) idleSince() sim.Time { return s.lastSeen }
 
 // ECMP is the paper's ECMP baseline: enumerate the end-to-end paths
 // (the controller's label list) and pin each flow to one of them,
@@ -95,13 +122,16 @@ func (p *Presto) Select(vs *VSwitch, seg *packet.Segment) {
 // unit.
 type ECMP struct {
 	rng *sim.RNG
-	// pinned remembers each flow's choice so it never changes.
-	pinned map[packet.FlowKey]packet.MAC
+	// pinned remembers each flow's choice so it never changes while the
+	// flow is live. Entries idle past policyGCIdle are swept like every
+	// other policy's flow table — pinning is re-derivable, so eviction
+	// only re-rolls truly idle flows.
+	pinned map[packet.FlowKey]*ecmpEntry
 }
 
 // NewECMP returns a per-flow random path policy seeded by rng.
 func NewECMP(rng *sim.RNG) *ECMP {
-	return &ECMP{rng: rng, pinned: make(map[packet.FlowKey]packet.MAC)}
+	return &ECMP{rng: rng, pinned: make(map[packet.FlowKey]*ecmpEntry)}
 }
 
 // Name implements Policy.
@@ -109,18 +139,22 @@ func (e *ECMP) Name() string { return "ecmp" }
 
 // Select implements Policy.
 func (e *ECMP) Select(vs *VSwitch, seg *packet.Segment) {
-	if mac, ok := e.pinned[seg.Flow]; ok {
-		seg.DstMAC = mac
+	now := vs.Eng.Now()
+	if st, ok := e.pinned[seg.Flow]; ok {
+		st.lastSeen = now
+		seg.DstMAC = st.mac
 		return
 	}
-	macs := vs.Mapping(seg.Flow.Dst.Host)
-	var mac packet.MAC
-	if len(macs) == 0 {
-		mac = packet.HostMAC(seg.Flow.Dst.Host)
-	} else {
-		mac = macs[e.rng.Intn(len(macs))]
+	if len(e.pinned) >= policyGCThreshold {
+		sweepIdle(now, e.pinned)
 	}
-	e.pinned[seg.Flow] = mac
+	macs := vs.Mapping(seg.Flow.Dst.Host)
+	idx := 0
+	if len(macs) > 0 {
+		idx = e.rng.Intn(len(macs))
+	}
+	mac := labelAt(macs, idx, seg.Flow.Dst.Host)
+	e.pinned[seg.Flow] = &ecmpEntry{mac: mac, lastSeen: now}
 	seg.DstMAC = mac
 }
 
@@ -169,12 +203,6 @@ func (f *Flowlet) Name() string { return "flowlet" }
 func (f *Flowlet) Select(vs *VSwitch, seg *packet.Segment) {
 	now := vs.Eng.Now()
 	macs := vs.Mapping(seg.Flow.Dst.Host)
-	pathOf := func(macIdx int) int {
-		if len(macs) == 0 {
-			return 0
-		}
-		return macIdx % len(macs)
-	}
 	st, ok := f.flows[seg.Flow]
 	if !ok {
 		if len(f.flows) >= policyGCThreshold {
@@ -182,23 +210,19 @@ func (f *Flowlet) Select(vs *VSwitch, seg *packet.Segment) {
 		}
 		st = &flowletState{lastSeen: now}
 		f.flows[seg.Flow] = st
-		vs.noteFlowcell(pathOf(0), 0)
+		vs.noteFlowcell(pathIndex(macs, 0), 0)
 	} else if now-st.lastSeen > f.Gap {
 		// Inactivity gap: close the current flowlet, start the next.
 		st.sizes = append(st.sizes, st.bytes)
 		st.bytes = 0
 		st.macIdx++
 		st.flowletID++
-		vs.noteFlowcell(pathOf(st.macIdx), st.flowletID)
+		vs.noteFlowcell(pathIndex(macs, st.macIdx), st.flowletID)
 	}
 	st.lastSeen = now
 	st.bytes += seg.Len()
 	seg.FlowcellID = st.flowletID
-	if len(macs) == 0 {
-		seg.DstMAC = packet.HostMAC(seg.Flow.Dst.Host)
-		return
-	}
-	seg.DstMAC = macs[st.macIdx%len(macs)]
+	stampLabel(seg, macs, st.macIdx)
 }
 
 // FlowletSizes returns the completed flowlet sizes (bytes) of a flow,

@@ -336,3 +336,70 @@ func TestPolicyFlowStateGC(t *testing.T) {
 		t.Fatalf("flow table grew to %d entries; GC did not run", len(p.flows))
 	}
 }
+
+// TestPolicyGCShrinksDeterministically pushes more distinct flows than
+// the GC threshold through every stateful policy, advances simulated
+// time past the idle horizon, and checks that (a) the flow table was
+// swept back under the threshold and (b) the label sequence is
+// identical across two runs — GC must not perturb path selection.
+func TestPolicyGCShrinksDeterministically(t *testing.T) {
+	const flows = policyGCThreshold + 300
+	cases := []struct {
+		name  string
+		build func() (Policy, func() int)
+	}{
+		{"presto", func() (Policy, func() int) {
+			p := NewPresto()
+			return p, func() int { return len(p.flows) }
+		}},
+		{"flowlet", func() (Policy, func() int) {
+			f := NewFlowlet(500 * sim.Microsecond)
+			return f, func() int { return len(f.flows) }
+		}},
+		{"ecmp", func() (Policy, func() int) {
+			e := NewECMP(sim.NewRNG(7))
+			return e, func() int { return len(e.pinned) }
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() ([]packet.MAC, int) {
+				eng := sim.NewEngine()
+				out := &capture{}
+				p, tableLen := tc.build()
+				vs := New(eng, 0, out, p)
+				vs.SetMapping(4, labelSet(4))
+				for i := 0; i < flows; i++ {
+					s := seg(0, 1)
+					s.Flow.Src.Port = uint16(i)
+					s.Flow.Dst.Port = uint16(i >> 16)
+					// 5ms spacing: by the time the table fills, the
+					// early flows are idle far past policyGCIdle.
+					eng.At(sim.Time(i)*5*sim.Millisecond, func() { vs.Send(s) })
+				}
+				eng.RunAll()
+				macs := make([]packet.MAC, len(out.segs))
+				for i, s := range out.segs {
+					macs[i] = s.DstMAC
+				}
+				return macs, tableLen()
+			}
+			macs1, size1 := run()
+			macs2, size2 := run()
+			if size1 > policyGCThreshold {
+				t.Errorf("table holds %d entries after %d idle flows; GC did not shrink it", size1, flows)
+			}
+			if size1 != size2 {
+				t.Errorf("table size differs across runs: %d vs %d", size1, size2)
+			}
+			if len(macs1) != len(macs2) {
+				t.Fatalf("output length differs: %d vs %d", len(macs1), len(macs2))
+			}
+			for i := range macs1 {
+				if macs1[i] != macs2[i] {
+					t.Fatalf("label %d differs across identical runs: %v vs %v", i, macs1[i], macs2[i])
+				}
+			}
+		})
+	}
+}

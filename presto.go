@@ -11,62 +11,109 @@
 package presto
 
 import (
-	"fmt"
+	"strings"
 
 	"presto/internal/cluster"
 	"presto/internal/packet"
+	"presto/internal/scheme"
 	"presto/internal/sim"
 	"presto/internal/telemetry"
 	"presto/internal/topo"
 )
 
 // System is a complete load-balancing configuration compared in the
-// evaluation (§4): edge policy + receive offload + transport +
-// topology baseline.
-type System int
+// evaluation (§4): a registry scheme (plus parameter overrides), the
+// receive offload and transport it declares, and the topology
+// baseline. Systems are comparable values — the historical enum-like
+// variables below keep their display names (and therefore campaign
+// cell IDs) byte-stable — and any registry scheme becomes a System
+// via SystemFor.
+type System struct {
+	scheme string // registry name ("" is invalid; use SystemFor or the vars below)
+	params string // canonical "k=v,k=v" overrides ("" = schema defaults)
+	// display is the historical name ("ECMP", "Flowlet-100us", …);
+	// empty for registry-derived systems, which render as the spec.
+	display string
+	// optimal swaps the run topology for the single non-blocking
+	// switch baseline.
+	optimal bool
+}
 
 // The systems of §4/§5.
-const (
+var (
 	// SysECMP pins each flow to one random end-to-end path.
-	SysECMP System = iota
+	SysECMP = System{scheme: "ecmp", display: "ECMP"}
 	// SysMPTCP runs 8 ECMP-pinned subflows with coupled congestion
 	// control.
-	SysMPTCP
+	SysMPTCP = System{scheme: "mptcp", display: "MPTCP"}
 	// SysPresto is the paper's contribution: 64 KB flowcell spraying +
 	// Presto GRO.
-	SysPresto
+	SysPresto = System{scheme: "presto", display: "Presto"}
 	// SysOptimal attaches all hosts to one non-blocking switch.
-	SysOptimal
+	SysOptimal = System{scheme: "ecmp", display: "Optimal", optimal: true}
 	// SysFlowlet100 switches flowlets at a 100 µs inactivity gap.
-	SysFlowlet100
+	SysFlowlet100 = System{scheme: "flowlet", params: "gap=100us", display: "Flowlet-100us"}
 	// SysFlowlet500 switches flowlets at a 500 µs inactivity gap.
-	SysFlowlet500
+	SysFlowlet500 = System{scheme: "flowlet", params: "gap=500us", display: "Flowlet-500us"}
 	// SysPrestoECMP sprays flowcells per hop via switch ECMP hashing.
-	SysPrestoECMP
+	SysPrestoECMP = System{scheme: "presto-ecmp", display: "Presto+ECMP"}
 	// SysPerPacket sprays every MTU packet (TSO off).
-	SysPerPacket
+	SysPerPacket = System{scheme: "per-packet", display: "PerPacket"}
 )
 
-func (s System) String() string {
-	switch s {
-	case SysECMP:
-		return "ECMP"
-	case SysMPTCP:
-		return "MPTCP"
-	case SysPresto:
-		return "Presto"
-	case SysOptimal:
-		return "Optimal"
-	case SysFlowlet100:
-		return "Flowlet-100us"
-	case SysFlowlet500:
-		return "Flowlet-500us"
-	case SysPrestoECMP:
-		return "Presto+ECMP"
-	case SysPerPacket:
-		return "PerPacket"
+// SystemFor builds a System from a registry scheme spec
+// ("diffflow", "presto:cell=32KB", …), validating the name and
+// parameters against the registry.
+func SystemFor(spec string) (System, error) {
+	name, params, err := scheme.ParseSpec(spec)
+	if err != nil {
+		return System{}, err
 	}
-	return fmt.Sprintf("System(%d)", int(s))
+	canon := scheme.CanonicalSpec(name, params)
+	sys := System{scheme: name}
+	if canon != name {
+		sys.params = strings.TrimPrefix(canon, name+":")
+	}
+	return sys, nil
+}
+
+// SchemeSystems returns one default-parameter System per registered
+// scheme, in sorted registry order.
+func SchemeSystems() []System {
+	names := scheme.Names()
+	out := make([]System, len(names))
+	for i, n := range names {
+		out[i] = System{scheme: n}
+	}
+	return out
+}
+
+// SchemeName returns the registry scheme the system runs.
+func (s System) SchemeName() string { return s.scheme }
+
+func (s System) String() string {
+	if s.display != "" {
+		return s.display
+	}
+	if s.params != "" {
+		return s.scheme + ":" + s.params
+	}
+	return s.scheme
+}
+
+// paramMap expands the canonical param string back into raw values
+// for cluster.Config.SchemeParams.
+func (s System) paramMap() map[string]string {
+	if s.params == "" {
+		return nil
+	}
+	m := make(map[string]string)
+	for _, kv := range strings.Split(s.params, ",") {
+		if eq := strings.IndexByte(kv, '='); eq > 0 {
+			m[kv[:eq]] = kv[eq+1:]
+		}
+	}
+	return m
 }
 
 // Options tunes an experiment run. Zero values take defaults sized
@@ -155,33 +202,21 @@ func buildCluster(sys System, tp *topo.Topology, opt Options) *cluster.Cluster {
 // clusterConfigFor maps a system onto a cluster configuration
 // (callers that support sharding set Shards on the result).
 func clusterConfigFor(sys System, tp *topo.Topology, opt Options) cluster.Config {
-	cfg := cluster.Config{Topology: tp, Seed: opt.Seed, GRO: opt.GROOverride, Telemetry: opt.Telemetry}
-	switch sys {
-	case SysECMP, SysOptimal:
-		cfg.Scheme = cluster.ECMP
-	case SysMPTCP:
-		cfg.Scheme = cluster.MPTCP
-	case SysPresto:
-		cfg.Scheme = cluster.Presto
-	case SysFlowlet100:
-		cfg.Scheme = cluster.Flowlet
-		cfg.FlowletGap = 100 * sim.Microsecond
-	case SysFlowlet500:
-		cfg.Scheme = cluster.Flowlet
-		cfg.FlowletGap = 500 * sim.Microsecond
-	case SysPrestoECMP:
-		cfg.Scheme = cluster.PrestoECMP
-	case SysPerPacket:
-		cfg.Scheme = cluster.PerPacket
+	return cluster.Config{
+		Topology:     tp,
+		Seed:         opt.Seed,
+		GRO:          opt.GROOverride,
+		Telemetry:    opt.Telemetry,
+		Scheme:       cluster.Scheme(sys.scheme),
+		SchemeParams: sys.paramMap(),
 	}
-	return cfg
 }
 
 // topoFor returns the topology a system runs on, given the Clos the
 // non-optimal systems use: Optimal swaps in a single switch with the
 // same host count.
 func topoFor(sys System, clos func() *topo.Topology) *topo.Topology {
-	if sys == SysOptimal {
+	if sys.optimal {
 		return topo.SingleSwitch(clos().NumHosts(), topo.LinkConfig{})
 	}
 	return clos()

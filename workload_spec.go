@@ -5,6 +5,7 @@ import (
 
 	"presto/internal/campaign"
 	"presto/internal/metrics"
+	"presto/internal/packet"
 	"presto/internal/sim"
 	"presto/internal/topo"
 	"presto/internal/workload"
@@ -47,12 +48,33 @@ func specTopo(sys System, ws *wspec.Spec) *topo.Topology {
 // plus RTT probes over the testbed stride pairs.
 func RunSpecWorkload(sys System, ws *wspec.Spec, opt Options) (LoadResult, []wspec.ClientResult, error) {
 	opt.fill()
-	c := buildCluster(sys, specTopo(sys, ws), opt)
+	return runSpecOn(sys, specTopo(sys, ws), ws, opt, hostPairs(16, 8))
+}
+
+// RunSpecWorkloadOn runs a workload spec on an explicit topology —
+// the scheme-matrix engine. Unlike RunSpecWorkload (frozen to the
+// Figure 3 testbed and its historical prober pairs), the probe pairs
+// scale with the topology's server count.
+func RunSpecWorkloadOn(sys System, tp *topo.Topology, ws *wspec.Spec, opt Options) (LoadResult, []wspec.ClientResult, error) {
+	opt.fill()
+	n := 0
+	for i := 0; i < tp.NumHosts(); i++ {
+		if !tp.IsRemote(packet.HostID(i)) {
+			n++
+		}
+	}
+	return runSpecOn(sys, tp, ws, opt, hostPairs(n, n/2))
+}
+
+// runSpecOn is the shared body: compile the spec onto a cluster,
+// warm up, measure, and harvest a LoadResult plus per-client results.
+func runSpecOn(sys System, tp *topo.Topology, ws *wspec.Spec, opt Options, pairs [][2]packet.HostID) (LoadResult, []wspec.ClientResult, error) {
+	c := buildCluster(sys, tp, opt)
 	g, err := wspec.Compile(ws, c, opt.Seed)
 	if err != nil {
 		return LoadResult{}, nil, err
 	}
-	probers := workload.StartProbers(c, hostPairs(16, 8), opt.ProbeInterval)
+	probers := workload.StartProbers(c, pairs, opt.ProbeInterval)
 	until := opt.Warmup + opt.Duration
 	g.Start(until)
 	c.Eng.Run(opt.Warmup)
